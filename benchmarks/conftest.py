@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one paper table/figure at a reproduction scale
+chosen to finish in minutes (see DESIGN.md §5 for the scale discussion),
+prints the rendered result, records the series in ``benchmark.extra_info``
+and writes the rendering to ``benchmarks/results/<id>.txt`` so EXPERIMENTS.md
+can be assembled from the artefacts.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def record(benchmark, result) -> None:
+    """Print + persist an experiment result and attach it to the benchmark."""
+    text = result.render()
+    print("\n" + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    fname = result.__class__.__name__ and (
+        getattr(result, "figure_id", None) or getattr(result, "table_id")
+    )
+    safe = fname.lower().replace(" ", "_").replace(":", "")
+    (RESULTS_DIR / f"{safe}.txt").write_text(text + "\n")
+    benchmark.extra_info["rendered"] = text

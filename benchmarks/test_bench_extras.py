@@ -1,0 +1,35 @@
+"""Extension experiments: k-means ([38]) and MapReduce engines ([36]/[37])."""
+
+from conftest import record
+
+from repro.core.extras import extra_kmeans, extra_mapreduce
+from repro.workloads.stackexchange import StackExchangeSpec
+
+
+def test_bench_extra_kmeans(benchmark):
+    result = benchmark.pedantic(
+        extra_kmeans,
+        kwargs={"node_counts": (1, 2, 4, 8), "n_points": 20_000,
+                "iterations": 10},
+        rounds=1, iterations=1)
+    record(benchmark, result)
+    mpi, spark = result.series
+    for nodes in (1, 2, 4, 8):
+        # compute-light iterative kernel: the HPC profile wins throughout
+        assert mpi.y_for(nodes) < spark.y_for(nodes) / 10
+
+
+def test_bench_extra_mapreduce(benchmark):
+    result = benchmark.pedantic(
+        extra_mapreduce,
+        kwargs={"nodes": 4, "spec": StackExchangeSpec(n_posts=10_000)},
+        rounds=1, iterations=1)
+    record(benchmark, result)
+
+    def seconds(row):
+        value, unit = row[1].split()
+        return float(value) * {"s": 1, "ms": 1e-3, "us": 1e-6, "min": 60}[unit]
+
+    hadoop, mpi, spark = (seconds(r) for r in result.rows)
+    assert mpi < spark < hadoop          # the [36]/[37] ordering
+    assert hadoop > 20 * mpi             # "more than 100x" territory

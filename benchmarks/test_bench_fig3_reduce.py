@@ -1,0 +1,24 @@
+"""Fig 3 — reduce microbenchmark: MPI vs Spark vs Spark-RDMA, 64 procs.
+
+Paper shape asserted: MPI is orders of magnitude below Spark at every
+size; Spark-RDMA tracks Spark (the reduce barely shuffles).
+"""
+
+from conftest import record
+
+from repro.core.figures import fig3
+from repro.units import KiB, MiB
+
+SIZES = [4, 64, 1 * KiB, 16 * KiB, 256 * KiB, 1 * MiB]
+
+
+def test_bench_fig3_reduce(benchmark):
+    result = benchmark.pedantic(
+        fig3, kwargs={"sizes": SIZES, "nodes": 8, "procs_per_node": 8,
+                      "include_shmem": True},
+        rounds=1, iterations=1)
+    record(benchmark, result)
+    mpi, spark, rdma = (result.series[i] for i in range(3))
+    for size in SIZES:
+        assert spark.y_for(size) > 50 * mpi.y_for(size)
+        assert abs(rdma.y_for(size) - spark.y_for(size)) < 0.5 * spark.y_for(size)

@@ -1,0 +1,37 @@
+"""Fig 4 — StackExchange AnswersCount across the four frameworks.
+
+Paper shapes asserted:
+
+* OpenMP exists only at single-node thread counts and barely moves 8->16;
+* MPI has **no data points** below 41 processes on the 80 GiB input (the
+  ``int`` chunk limit) and runs at 64/128;
+* Spark and Hadoop run everywhere and scale with nodes;
+* Hadoop is well above Spark at every point.
+"""
+
+from conftest import record
+
+from repro.core.figures import fig4
+from repro.units import GiB
+from repro.workloads.stackexchange import StackExchangeSpec
+
+PROCS = (8, 16, 32, 64, 128)
+
+
+def test_bench_fig4_answerscount(benchmark):
+    result = benchmark.pedantic(
+        fig4,
+        kwargs={"proc_counts": PROCS, "logical_size": 80 * GiB,
+                "spec": StackExchangeSpec(n_posts=20_000)},
+        rounds=1, iterations=1)
+    record(benchmark, result)
+    omp, mpi, spark, hadoop = result.series
+    assert omp.y_for(8) is not None and omp.y_for(16) is not None
+    assert omp.y_for(32) is None                       # single node only
+    for p in (8, 16, 32):
+        assert mpi.y_for(p) is None                    # int-overflow region
+    assert mpi.y_for(64) is not None and mpi.y_for(128) is not None
+    for p in PROCS:
+        assert hadoop.y_for(p) > spark.y_for(p)        # disk-bound Hadoop
+    assert spark.y_for(128) < spark.y_for(8)           # Spark scales
+    assert hadoop.y_for(128) < hadoop.y_for(8)         # Hadoop scales too

@@ -1,0 +1,35 @@
+"""Fig 6 — BigDataBench PageRank (1M vertices): MPI vs Spark vs Spark-RDMA.
+
+Paper shapes asserted: MPI is far below Spark and roughly flat across the
+multi-node points; Spark scales down with nodes; Spark-RDMA stays close to
+Spark (the tuned variant has little shuffle left to accelerate).
+"""
+
+from conftest import record
+
+from repro.core.figures import fig6
+from repro.workloads.graphs import GraphSpec
+
+NODES = (1, 2, 4, 8)
+
+
+def test_bench_fig6_pagerank_bigdatabench(benchmark):
+    result = benchmark.pedantic(
+        fig6,
+        kwargs={"node_counts": NODES, "procs_per_node": 16,
+                "graph": GraphSpec(n_vertices=1_000_000, out_degree=8),
+                "iterations": 10},
+        rounds=1, iterations=1)
+    record(benchmark, result)
+    mpi, spark, rdma = result.series
+    for n in NODES:
+        assert mpi.y_for(n) < spark.y_for(n) / 5       # MPI far below
+    # MPI flat across multi-node points (within 2x of each other)
+    multi = [mpi.y_for(n) for n in NODES if n >= 2]
+    assert max(multi) < 2 * min(multi)
+    # Spark scales down with nodes
+    assert spark.y_for(8) < spark.y_for(1)
+    # RDMA does not change the Spark picture qualitatively
+    for n in NODES:
+        assert rdma.y_for(n) <= spark.y_for(n) * 1.02
+        assert rdma.y_for(n) > spark.y_for(n) * 0.6

@@ -1,0 +1,11 @@
+"""Table I — the platform configuration the simulator encodes."""
+
+from conftest import record
+
+from repro.core.figures import table1
+
+
+def test_bench_table1_setup(benchmark):
+    result = benchmark.pedantic(table1, rounds=1, iterations=1)
+    record(benchmark, result)
+    assert result.cell("Cores/socket", "Value") == "12"

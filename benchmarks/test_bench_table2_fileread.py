@@ -1,0 +1,30 @@
+"""Table II — parallel file read: Spark/HDFS vs Spark/local vs MPI-IO.
+
+Paper shape asserted: MPI fastest, Spark-on-local next, Spark-on-HDFS
+slowest, with a moderate HDFS-over-local overhead (paper: ~25 %).
+"""
+
+from conftest import record
+
+from repro.core.figures import table2
+
+
+def _seconds(cell: str) -> float:
+    value, unit = cell.split()
+    v = float(value)
+    return v * {"s": 1.0, "ms": 1e-3, "min": 60.0}[unit]
+
+
+def test_bench_table2_fileread(benchmark):
+    result = benchmark.pedantic(
+        table2,
+        kwargs={"logical_sizes": (8 * 10**9, 80 * 10**9), "nodes": 8},
+        rounds=1, iterations=1)
+    record(benchmark, result)
+    for row_key in ("8.0 GB", "80.0 GB"):
+        hdfs = _seconds(result.cell(row_key, "Spark on HDFS (scratch fs)"))
+        local = _seconds(result.cell(row_key,
+                                     "Spark on local files (scratch fs)"))
+        mpi = _seconds(result.cell(row_key, "MPI (scratch fs)"))
+        assert mpi < local < hdfs
+        assert hdfs / local < 2.0  # modest overhead, not a blowup

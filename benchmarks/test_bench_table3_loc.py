@@ -1,0 +1,32 @@
+"""Table III — maintainability: LoC + boilerplate over the apps corpus.
+
+Paper ordering asserted: Spark implementations need less code than their
+MPI twins for every shared benchmark, and MPI carries the most
+distribution boilerplate.
+"""
+
+from conftest import record
+
+from repro.core.figures import table3
+
+
+def test_bench_table3_loc(benchmark):
+    result = benchmark.pedantic(table3, rounds=1, iterations=1)
+    record(benchmark, result)
+
+    def loc(bench: str, model: str) -> int:
+        for row in result.rows:
+            if row[0] == bench and row[1] == model:
+                return int(row[2])
+        raise KeyError((bench, model))
+
+    def boiler(bench: str, model: str) -> int:
+        for row in result.rows:
+            if row[0] == bench and row[1] == model:
+                return int(row[3])
+        raise KeyError((bench, model))
+
+    for bench in ("FileRead", "AnswersCount"):
+        assert loc(bench, "Spark") < loc(bench, "MPI")
+    assert boiler("PageRank", "MPI") > boiler("PageRank", "Spark")
+    assert boiler("AnswersCount", "Hadoop") > boiler("AnswersCount", "Spark")

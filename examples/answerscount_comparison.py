@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""AnswersCount across frameworks — the Fig 4 experiment at example scale.
+
+Generates a synthetic StackExchange posts file whose *logical* size is
+4 GiB (megabytes of physical payload, timed as gigabytes), then counts the
+average answers per question with OpenMP, MPI, Spark and Hadoop — including
+the MPI ``int``-overflow wall that keeps MPI out of the low-process region
+of the paper's Fig 4.
+
+Run:  python examples/answerscount_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro.apps.answerscount import (
+    hadoop_answers_count,
+    mpi_answers_count,
+    openmp_answers_count,
+    spark_answers_count,
+)
+from repro.cluster import COMET, Cluster
+from repro.errors import MPIIntOverflowError, SimProcessError
+from repro.fs import HDFS, LocalFS
+from repro.units import GiB, fmt_bytes
+from repro.workloads.stackexchange import (
+    StackExchangeSpec,
+    expected_average_answers,
+    stackexchange_content,
+)
+
+SPEC = StackExchangeSpec(n_posts=8000, answers_per_question=4)
+LOGICAL = 4 * GiB
+
+
+def make_cluster(nodes: int = 2) -> Cluster:
+    cluster = Cluster(COMET.with_nodes(nodes))
+    content = stackexchange_content(SPEC)
+    scale = max(1, LOGICAL // content.size)
+    LocalFS(cluster).create_replicated("posts.txt", content, scale=scale)
+    HDFS(cluster, replication=nodes).create("posts.txt", content, scale=scale)
+    return cluster
+
+
+def main() -> None:
+    expected = expected_average_answers(SPEC)
+    print(f"dataset: {fmt_bytes(LOGICAL)} logical "
+          f"({SPEC.n_posts} physical posts); expected avg = {expected:.4f}\n")
+
+    print(f"{'framework':<28} {'procs':>5} {'virtual time':>13} {'avg':>8}")
+
+    cl = make_cluster()
+    t, avg = openmp_answers_count(cl, cl.filesystems["local"], "posts.txt", 8)
+    print(f"{'OpenMP (1 node)':<28} {8:>5} {t:>11.2f} s {avg:>8.4f}")
+
+    # MPI first hits the 2 GiB int wall at low process counts...
+    cl = make_cluster()
+    try:
+        mpi_answers_count(cl, cl.filesystems["local"], "posts.txt", 1, 1)
+    except SimProcessError as exc:
+        assert isinstance(exc.__cause__, MPIIntOverflowError)
+        print(f"{'MPI':<28} {1:>5}        FAILS: {exc.__cause__!s:.48}...")
+
+    # ...and works once chunks fit in a C int (here: >= 2 procs for 4 GiB)
+    cl = make_cluster()
+    t, avg = mpi_answers_count(cl, cl.filesystems["local"], "posts.txt", 16, 8)
+    print(f"{'MPI (parallel I/O)':<28} {16:>5} {t:>11.2f} s {avg:>8.4f}")
+
+    cl = make_cluster()
+    t, avg = spark_answers_count(cl, "hdfs://posts.txt", 8)
+    print(f"{'Spark (HDFS)':<28} {16:>5} {t:>11.2f} s {avg:>8.4f}")
+
+    cl = make_cluster()
+    t, avg = hadoop_answers_count(cl, "hdfs://posts.txt")
+    print(f"{'Hadoop MapReduce (HDFS)':<28} {16:>5} {t:>11.2f} s {avg:>8.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,185 @@
+#!/usr/bin/env python3
+"""Quickstart: the same word-count in all five programming models.
+
+Builds a 2-node simulated Comet slice, generates a small text corpus, and
+counts words with OpenMP, MPI, OpenSHMEM, Hadoop MapReduce and Spark —
+printing each framework's answer (identical) and virtual execution time
+(very much not identical).
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from repro.cluster import COMET, Cluster
+from repro.fs import HDFS, LineContent, LocalFS
+from repro.fs.records import iter_all_records, read_split_records
+from repro.mapreduce import JobConf, run_job
+from repro.mpi import mpi_run
+from repro.openmp import omp_run
+from repro.shmem import shmem_run
+from repro.spark import SparkContext
+
+WORDS = ["exascale", "convergence", "paradigm", "shuffle", "lineage",
+         "collective", "latency", "locality"]
+N_LINES = 4000
+
+
+def make_cluster() -> Cluster:
+    cluster = Cluster(COMET.with_nodes(2))
+    content = LineContent(
+        lambda i: " ".join(WORDS[(i + j) % len(WORDS)] for j in range(5)),
+        N_LINES,
+    )
+    LocalFS(cluster).create_replicated("corpus.txt", content)
+    HDFS(cluster, replication=2, block_size=16 * 1024).create(
+        "corpus.txt", content)
+    return cluster
+
+
+def reference_counts(cluster: Cluster) -> Counter:
+    lines = iter_all_records(cluster.filesystems["local"], "corpus.txt")
+    return Counter(w for line in lines for w in line.decode().split())
+
+
+# --------------------------------------------------------------------------
+# OpenMP: one node, worksharing over chunks, reduction of partial counters
+# --------------------------------------------------------------------------
+
+def openmp_wordcount(cluster: Cluster) -> tuple[Counter, float]:
+    fs = cluster.filesystems["local"]
+    size = fs.size("corpus.txt")
+    chunk = 16 * 1024
+    n_chunks = -(-size // chunk)
+
+    def region(omp):
+        from repro.sim import current_process
+
+        local = Counter()
+        for i in omp.for_range(n_chunks, schedule="dynamic"):
+            records = read_split_records(
+                fs, current_process(), "corpus.txt",
+                i * chunk, min(size, (i + 1) * chunk))
+            for line in records:
+                local.update(line.decode().split())
+        total = omp.reduce(local, op=lambda a, b: a + b)
+        return total
+
+    res = omp_run(cluster, region, num_threads=8)
+    return res.returns[0], res.elapsed
+
+
+# --------------------------------------------------------------------------
+# MPI: block-partitioned file, local counting, reduce to rank 0
+# --------------------------------------------------------------------------
+
+def mpi_wordcount(cluster: Cluster) -> tuple[Counter, float]:
+    fs = cluster.filesystems["local"]
+
+    def main(comm):
+        size = fs.size("corpus.txt")
+        chunk = -(-size // comm.size)
+        records = read_split_records(
+            fs, __import__("repro.sim", fromlist=["current_process"])
+            .current_process(),
+            "corpus.txt", comm.rank * chunk,
+            min(size, (comm.rank + 1) * chunk))
+        local = Counter()
+        for line in records:
+            local.update(line.decode().split())
+        return comm.reduce(local, op=lambda a, b: a + b, root=0)
+
+    res = mpi_run(cluster, main, nprocs=8, procs_per_node=4)
+    return res.returns[0], res.elapsed
+
+
+# --------------------------------------------------------------------------
+# OpenSHMEM: per-PE dense count vectors in the symmetric heap, sum_to_all
+# --------------------------------------------------------------------------
+
+def shmem_wordcount(cluster: Cluster) -> tuple[Counter, float]:
+    fs = cluster.filesystems["local"]
+    vocab = {w: i for i, w in enumerate(WORDS)}
+
+    def main(pe):
+        from repro.sim import current_process
+
+        counts = pe.alloc(len(vocab), dtype=np.float64)
+        size = fs.size("corpus.txt")
+        chunk = -(-size // pe.n_pes)
+        records = read_split_records(
+            fs, current_process(), "corpus.txt",
+            pe.my_pe * chunk, min(size, (pe.my_pe + 1) * chunk))
+        local = pe.local(counts)
+        for line in records:
+            for w in line.decode().split():
+                local[vocab[w]] += 1
+        pe.sum_to_all(counts)
+        return Counter({w: int(pe.local(counts)[i])
+                        for w, i in vocab.items()})
+
+    res = shmem_run(cluster, main, npes=8, pes_per_node=4)
+    return res.returns[0], res.elapsed
+
+
+# --------------------------------------------------------------------------
+# Hadoop MapReduce: classic mapper/combiner/reducer
+# --------------------------------------------------------------------------
+
+def hadoop_wordcount(cluster: Cluster) -> tuple[Counter, float]:
+    conf = JobConf(
+        name="wordcount",
+        input_url="hdfs://corpus.txt",
+        mapper=lambda line: [(w, 1) for w in line.split()],
+        combiner=lambda k, vs: [(k, sum(vs))],
+        reducer=lambda k, vs: [(k, sum(vs))],
+        num_reduces=4,
+    )
+    result = run_job(cluster, conf)
+    return Counter(dict(result.output)), result.elapsed
+
+
+# --------------------------------------------------------------------------
+# Spark: textFile -> flatMap -> reduceByKey
+# --------------------------------------------------------------------------
+
+def spark_wordcount(cluster: Cluster) -> tuple[Counter, float]:
+    sc = SparkContext(cluster, executors_per_node=4)
+
+    def app(sc):
+        return dict(
+            sc.text_file("hdfs://corpus.txt")
+            .flat_map(str.split)
+            .map(lambda w: (w, 1))
+            .reduce_by_key(lambda a, b: a + b, 8)
+            .collect()
+        )
+
+    result = sc.run(app)
+    return Counter(result.value), result.elapsed
+
+
+def main() -> None:
+    reference = reference_counts(make_cluster())
+    print(f"corpus: {N_LINES} lines, {sum(reference.values())} words\n")
+    runners = [
+        ("OpenMP (8 threads)", openmp_wordcount),
+        ("MPI (8 ranks)", mpi_wordcount),
+        ("OpenSHMEM (8 PEs)", shmem_wordcount),
+        ("Hadoop MapReduce", hadoop_wordcount),
+        ("Spark", spark_wordcount),
+    ]
+    print(f"{'framework':<20} {'virtual time':>14}   correct?")
+    for name, fn in runners:
+        counts, elapsed = fn(make_cluster())
+        ok = counts == reference
+        print(f"{name:<20} {elapsed:>12.3f} s   {'yes' if ok else 'NO'}")
+        assert ok, f"{name} produced wrong counts!"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""repro — reproduction of "A Comparative Survey of the HPC and Big Data
+Paradigms: Analysis and Experiments" (Asaadi, Khaldi, Chapman; CLUSTER 2016).
+
+The package provides five programming-model runtimes — MPI, OpenMP,
+OpenSHMEM, Hadoop MapReduce and Spark — implemented over a deterministic
+virtual-time cluster simulator, plus the paper's four benchmarks and a
+harness that regenerates every table and figure of its evaluation section.
+
+Quick start::
+
+    from repro.cluster import Cluster
+    from repro.cluster.spec import COMET
+    from repro.mpi import mpi_run
+
+    def main(comm):
+        part = comm.rank + 1
+        total = comm.allreduce(part)
+        return total
+
+    cluster = Cluster(COMET.with_nodes(2))
+    result = mpi_run(cluster, main, nprocs=8, procs_per_node=4)
+    print(result.returns[0], result.elapsed)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

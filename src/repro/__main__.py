@@ -1,0 +1,6 @@
+"""``python -m repro`` — shortcut to the experiment runner CLI."""
+
+from repro.core.experiment import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,12 @@
+"""The paper's benchmarks, one module per (benchmark, programming model).
+
+These modules serve two purposes:
+
+1. they are the code the experiment harness (:mod:`repro.core.figures`)
+   actually runs to regenerate the paper's tables and figures;
+2. they are the corpus for the Table III maintainability analysis
+   (:mod:`repro.core.metrics`): each file is written the way the benchmark
+   would naturally be written in that model, and distribution/setup
+   scaffolding is fenced with ``# <boilerplate>`` / ``# </boilerplate>``
+   markers so "boilerplate LoC" is a well-defined, recomputable metric.
+"""

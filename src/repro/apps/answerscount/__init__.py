@@ -1,0 +1,18 @@
+"""StackExchange AnswersCount benchmark (paper Section V-C, Fig 4).
+
+Counts the average number of answers per question over a posts dump, in
+all four models.  Every implementation is validated against
+:func:`repro.workloads.stackexchange.reference_answers_count`.
+"""
+
+from repro.apps.answerscount.hadoop_ac import hadoop_answers_count
+from repro.apps.answerscount.mpi_ac import mpi_answers_count
+from repro.apps.answerscount.openmp_ac import openmp_answers_count
+from repro.apps.answerscount.spark_ac import spark_answers_count
+
+__all__ = [
+    "openmp_answers_count",
+    "mpi_answers_count",
+    "spark_answers_count",
+    "hadoop_answers_count",
+]

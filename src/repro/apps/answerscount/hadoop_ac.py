@@ -1,0 +1,58 @@
+"""AnswersCount in Hadoop MapReduce: map to type counts, reduce to sums.
+
+The mapper emits one ``("questions", 1)`` or ``("answers", 1)`` pair per
+post (with a combiner to collapse them map-side); the reducer sums; the
+driver divides.  Classic two-counter MapReduce — and the per-job/per-task
+overheads plus the disk-persisted intermediates are what place Hadoop above
+Spark in Fig 4.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.cluster import Cluster
+from repro.mapreduce import JobConf, run_job
+from repro.workloads.stackexchange import POST_ANSWER, POST_QUESTION, parse_post
+
+#: modelled CPU per record for parsing on the JVM
+PARSE_COST = 0.35e-6
+
+
+def _mapper(line: str):
+    try:
+        _pid, ptype, _parent = parse_post(line)
+    except ValueError:
+        return []
+    if ptype == POST_QUESTION:
+        return [("questions", 1)]
+    if ptype == POST_ANSWER:
+        return [("answers", 1)]
+    return []
+
+
+def _reducer(key, values):
+    return [(key, sum(values))]
+
+
+def hadoop_answers_count(
+    cluster: Cluster,
+    input_url: str,
+    *,
+    map_slots_per_node: int = 8,
+) -> tuple[float, float]:
+    """``(job_seconds, average_answers)`` for the Hadoop implementation."""
+    # <boilerplate>
+    conf = JobConf(
+        name="answerscount",
+        input_url=input_url,
+        mapper=_mapper,
+        reducer=_reducer,
+        combiner=_reducer,
+        num_reduces=1,
+        map_cost_per_record=PARSE_COST,
+    )
+    # </boilerplate>
+    result = run_job(cluster, conf, map_slots_per_node=map_slots_per_node)
+    counts = dict(result.output)
+    questions = counts.get("questions", 0)
+    answers = counts.get("answers", 0)
+    return result.elapsed, (answers / questions if questions else 0.0)

@@ -1,0 +1,74 @@
+"""AnswersCount in MPI: parallel I/O + local counting + allreduce.
+
+Uses ``MPI_File_read_at_all`` with contiguous per-rank chunks, exactly the
+structure whose ``int`` count argument caps chunks at 2 GiB — so on an
+80 GiB input this implementation *raises* ``MPIIntOverflowError`` below 41
+processes, reproducing "we had to use more than 40 processes to make it
+working" (Section V-C).  The Fig 4 harness records those points as absent.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.cluster import Cluster
+from repro.costs import DEFAULT_COSTS
+from repro.fs.base import FileSystem
+from repro.mpi import MPIFile, mpi_run
+from repro.mpi.io import chunk_for_rank
+from repro.workloads.stackexchange import POST_ANSWER, POST_QUESTION, parse_post
+
+
+def mpi_answers_count(
+    cluster: Cluster,
+    fs: FileSystem,
+    path: str,
+    nprocs: int,
+    procs_per_node: int,
+) -> tuple[float, float]:
+    """``(elapsed_seconds, average_answers)``.
+
+    Raises :class:`~repro.errors.SimProcessError` wrapping
+    ``MPIIntOverflowError`` when ``file_size / nprocs > INT_MAX``.
+    """
+
+    def bench(comm) -> tuple[float, float]:
+        from repro.sim import current_process
+
+        # <boilerplate>
+        f = MPIFile.open(comm, fs, path)
+        comm.barrier()
+        # </boilerplate>
+        t0 = comm.wtime()
+        offset, count = chunk_for_rank(f.size(), comm.rank, comm.size)
+        data = f.read_at_all(offset, count)
+        scale = fs.lookup(path).scale
+        current_process().compute_bytes(
+            len(data) * scale, DEFAULT_COSTS.parse_rate_native)
+        questions = answers = 0
+        # align to record boundaries within the chunk, as the C code does
+        body = data.split(b"\n")
+        if offset > 0 and body:
+            body = body[1:]
+        for raw in body:
+            if not raw:
+                continue
+            try:
+                _pid, ptype, _parent = parse_post(raw.decode())
+            except ValueError:
+                continue  # partial boundary record; owned by the neighbour
+            if ptype == POST_QUESTION:
+                questions += 1
+            elif ptype == POST_ANSWER:
+                answers += 1
+        total_q = comm.allreduce(questions)
+        total_a = comm.allreduce(answers)
+        comm.barrier()
+        elapsed = comm.wtime() - t0
+        f.close()
+        return elapsed, (total_a / total_q if total_q else 0.0)
+
+    # <boilerplate>
+    res = mpi_run(cluster, bench, nprocs, procs_per_node=procs_per_node,
+                  charge_launch=False)
+    elapsed = max(r[0] for r in res.returns)
+    return elapsed, res.returns[0][1]
+    # </boilerplate>

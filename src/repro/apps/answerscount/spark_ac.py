@@ -1,0 +1,39 @@
+"""AnswersCount in Spark: textFile -> parse -> aggregate, one pass."""
+
+from __future__ import annotations
+
+from repro.cluster.cluster import Cluster
+from repro.spark import SparkContext
+from repro.workloads.stackexchange import POST_ANSWER, POST_QUESTION, parse_post
+
+#: modelled CPU per record for the comma-split + int parsing on the JVM
+PARSE_COST = 0.35e-6
+
+
+def spark_answers_count(
+    cluster: Cluster,
+    url: str,
+    executors_per_node: int,
+    *,
+    executor_nodes: list[int] | None = None,
+) -> tuple[float, float]:
+    """``(app_seconds, average_answers)`` for the Spark implementation."""
+    # <boilerplate>
+    sc = SparkContext(cluster, executors_per_node=executors_per_node,
+                      executor_nodes=executor_nodes)
+    # </boilerplate>
+
+    def app(sc: SparkContext) -> float:
+        posts = sc.text_file(url).map(parse_post, cost=PARSE_COST)
+        questions, answers = posts.aggregate(
+            (0, 0),
+            lambda acc, post: (
+                acc[0] + (post[1] == POST_QUESTION),
+                acc[1] + (post[1] == POST_ANSWER),
+            ),
+            lambda a, b: (a[0] + b[0], a[1] + b[1]),
+        )
+        return answers / questions if questions else 0.0
+
+    result = sc.run(app)
+    return result.app_elapsed, result.value

@@ -1,0 +1,6 @@
+"""Parallel file read microbenchmark (paper Section V-B2, Table II)."""
+
+from repro.apps.fileread.mpi_read import mpi_parallel_read
+from repro.apps.fileread.spark_read import spark_parallel_read
+
+__all__ = ["mpi_parallel_read", "spark_parallel_read"]

@@ -1,0 +1,18 @@
+"""K-means clustering across paradigms — the related-work [38] benchmark.
+
+The comparison paper the related-work section discusses ([38], Jha et al.)
+"used the clustering benchmark k-means to evaluate the two paradigms" but
+"used a range of different platforms for each paradigm, which makes it
+difficult to judge or compare both".  This extension runs k-means for both
+paradigms on *one* (simulated) platform, completing that comparison the way
+this paper's own experiments do.
+
+All implementations perform Lloyd's algorithm with identical deterministic
+initialisation and are validated against the NumPy reference.
+"""
+
+from repro.apps.kmeans.mpi_kmeans import mpi_kmeans
+from repro.apps.kmeans.reference import kmeans_points, reference_kmeans
+from repro.apps.kmeans.spark_kmeans import spark_kmeans
+
+__all__ = ["mpi_kmeans", "spark_kmeans", "reference_kmeans", "kmeans_points"]

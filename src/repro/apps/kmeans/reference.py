@@ -1,0 +1,46 @@
+"""Sequential Lloyd's algorithm + the deterministic dataset generator."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def kmeans_points(n: int, dim: int = 2, k: int = 4, seed: int = 7,
+                  spread: float = 0.35) -> np.ndarray:
+    """``n`` points around ``k`` well-separated Gaussian blobs.
+
+    Deterministic in all arguments; blob centres sit on a unit circle so
+    every generated instance is comfortably clusterable.
+    """
+    rng = np.random.default_rng(seed)
+    angles = 2 * np.pi * np.arange(k) / k
+    centres = np.stack([np.cos(angles), np.sin(angles)], axis=1)
+    if dim > 2:
+        centres = np.hstack([centres, np.zeros((k, dim - 2))])
+    labels = rng.integers(0, k, size=n)
+    return centres[labels] + spread * rng.standard_normal((n, dim))
+
+
+def initial_centroids(points: np.ndarray, k: int) -> np.ndarray:
+    """Deterministic init: evenly strided points (identical in every
+    implementation, so results can be compared bit-for-bit)."""
+    idx = np.linspace(0, len(points) - 1, k).astype(np.int64)
+    return points[idx].copy()
+
+
+def reference_kmeans(points: np.ndarray, k: int,
+                     iterations: int = 10) -> np.ndarray:
+    """Lloyd's algorithm; returns the final centroids.
+
+    Empty clusters keep their previous centroid (all implementations use
+    the same rule, keeping them numerically identical).
+    """
+    centroids = initial_centroids(points, k)
+    for _ in range(iterations):
+        d2 = ((points[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+        assign = d2.argmin(axis=1)
+        for c in range(k):
+            members = points[assign == c]
+            if len(members):
+                centroids[c] = members.mean(axis=0)
+    return centroids

@@ -1,0 +1,25 @@
+"""PageRank benchmark (paper Section V-D, Figs 6 and 7).
+
+Three implementations:
+
+* :func:`mpi_pagerank` — dense block-distributed MPI (BigDataBench style);
+* :func:`spark_pagerank_bigdatabench` — the paper's Fig 5 code: links
+  pre-partitioned and persisted (``MEMORY_AND_DISK``), narrow joins, one
+  small shuffle per iteration;
+* :func:`spark_pagerank_hibench` — the HiBench shape: no partitioning, no
+  persist, so every iteration re-shuffles the full adjacency data — the
+  shuffle-heavy case where the RDMA transport finally pays off (Fig 7).
+
+All three produce numerically identical ranks to
+:func:`repro.workloads.graphs.reference_pagerank` (tests verify).
+"""
+
+from repro.apps.pagerank.mpi_pr import mpi_pagerank
+from repro.apps.pagerank.spark_bigdatabench import spark_pagerank_bigdatabench
+from repro.apps.pagerank.spark_hibench import spark_pagerank_hibench
+
+__all__ = [
+    "mpi_pagerank",
+    "spark_pagerank_bigdatabench",
+    "spark_pagerank_hibench",
+]

@@ -1,0 +1,72 @@
+"""Spark PageRank, HiBench shape: ungrouped edge pairs, no persist tuning.
+
+HiBench's Scala PageRank keeps ``links`` as *raw (src, dst) pairs* (a map
+over ``textFile``, so no partitioner) and joins them with the ranks every
+iteration.  Without a partitioner on either side, the join shuffles the
+**entire edge list plus the ranks, every iteration** — roughly
+``out_degree`` times the per-iteration shuffle volume of the tuned
+BigDataBench variant.
+
+"When the rate of data shuffling is high and with the increase in the
+number of nodes, the Spark RDMA implementation outperforms the default
+implementation" (Section V-D) — Fig 7's crossover comes from exactly this
+volume difference.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.cluster import Cluster
+from repro.spark import SparkContext
+
+#: modelled JVM cost per record for parsing an edge line / iterating a tuple
+PARSE_COST = 0.3e-6
+EDGE_COST_JVM = 600e-9
+
+
+def spark_pagerank_hibench(
+    cluster: Cluster,
+    edges_url: str,
+    n_vertices: int,
+    executors_per_node: int,
+    *,
+    iterations: int = 10,
+    damping: float = 0.85,
+    shuffle_transport: str = "socket",
+    collect_ranks: bool = False,
+    record_scale: int = 1,
+) -> tuple[float, dict | int]:
+    """``(app_seconds, ranks_dict_or_count)`` — see the BigDataBench twin."""
+    # <boilerplate>
+    sc = SparkContext(cluster, executors_per_node=executors_per_node,
+                      shuffle_transport=shuffle_transport,
+                      record_scale=record_scale)
+    num_parts = sc.default_parallelism
+    # </boilerplate>
+
+    def app(sc: SparkContext):
+        links = (
+            sc.text_file(edges_url, num_parts)
+            .map(lambda line: tuple(map(int, line.split())), cost=PARSE_COST)
+            .cache()                            # raw pairs: no partitioner
+        )
+        degrees = sc.broadcast(links.count_by_key())
+        ranks = links.map(lambda e: (e[0], 1.0)).distinct(num_parts)
+        for _ in range(iterations):
+            contribs = links.join(ranks, num_parts).map(
+                lambda src_dst_rank: (
+                    src_dst_rank[1][0],
+                    src_dst_rank[1][1] / degrees.value[src_dst_rank[0]],
+                ),
+                cost=EDGE_COST_JVM,
+            )
+            ranks = contribs.reduce_by_key(
+                lambda a, b: a + b, num_parts
+            ).map_values(lambda r: (1 - damping) + damping * r)
+        if collect_ranks:
+            return dict(ranks.collect())
+        return ranks.count()
+
+    # <boilerplate>
+    result = sc.run(app)
+    return result.app_elapsed, result.value
+    # </boilerplate>

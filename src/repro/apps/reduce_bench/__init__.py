@@ -1,0 +1,12 @@
+"""Reduce microbenchmark (paper Section V-B1, Fig 3).
+
+OSU-style reduce latency sweep: MPI, Spark (socket and RDMA shuffle) and an
+OpenSHMEM variant, all measuring only the reduction loop (framework launch
+excluded), as OSU microbenchmarks do.
+"""
+
+from repro.apps.reduce_bench.osu_mpi import mpi_reduce_latency
+from repro.apps.reduce_bench.shmem_reduce import shmem_reduce_latency
+from repro.apps.reduce_bench.spark_reduce import spark_reduce_latency
+
+__all__ = ["mpi_reduce_latency", "spark_reduce_latency", "shmem_reduce_latency"]

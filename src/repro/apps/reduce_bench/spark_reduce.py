@@ -1,0 +1,54 @@
+"""Spark reduce latency — the paper's Fig 2 code, in our API.
+
+The paper's equivalence rule (Section V-B1): "the size of the array being
+reduced in Spark should be equal to the number of processes x size of the
+array in MPI", because Spark's ``reduce`` folds all distributed elements
+into one scalar while MPI's reduces elementwise across ranks.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.cluster import Cluster
+from repro.spark import SparkContext
+
+
+def spark_reduce_latency(
+    cluster: Cluster,
+    sizes: list[int],
+    nprocs: int,
+    procs_per_node: int,
+    *,
+    shuffle_transport: str = "socket",
+    iterations: int = 3,
+) -> dict[int, float]:
+    """Average ``RDD.reduce`` latency (seconds) per *MPI-equivalent* message
+    size in bytes (the parallelized array has ``nprocs`` times the elements)."""
+    # <boilerplate>
+    nodes_used = -(-nprocs // procs_per_node)
+    sc = SparkContext(
+        cluster,
+        executors_per_node=procs_per_node,
+        executor_nodes=list(range(nodes_used)),
+        shuffle_transport=shuffle_transport,
+        app_startup=4.0,
+    )
+    # </boilerplate>
+
+    def app(sc: SparkContext) -> dict[int, float]:
+        import repro.sim as sim
+
+        out: dict[int, float] = {}
+        for size in sizes:
+            # Fig 2: Float[] arrayOfZeros = new Float[size]; parallelize; reduce
+            n_elements = max(1, size // 4) * nprocs
+            list_of_ones = [1.0] * n_elements
+            rdd = sc.parallelize(list_of_ones, nprocs)
+            t0 = sim.current_process().clock
+            for _ in range(iterations):
+                result = rdd.reduce(lambda a, b: a + b)
+            elapsed = sim.current_process().clock - t0
+            assert result == float(n_elements)
+            out[size] = elapsed / iterations
+        return out
+
+    return sc.run(app).value

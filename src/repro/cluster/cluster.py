@@ -1,0 +1,117 @@
+"""The simulated cluster: engine + nodes + network + shared storage.
+
+A :class:`Cluster` is the root object of every experiment: build one from a
+:class:`~repro.cluster.spec.ClusterSpec`, launch runtimes against it, then
+read virtual timings off the engine.
+
+Example
+-------
+>>> from repro.cluster import Cluster
+>>> from repro.cluster.spec import COMET
+>>> cl = Cluster(COMET.with_nodes(2))
+>>> def hello():
+...     from repro.sim import current_process
+...     current_process().compute(1.0)
+>>> _ = cl.spawn(hello, node_id=0, name="hello")
+>>> cl.run()
+1.0
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.cluster.network import Network
+from repro.cluster.node import Node
+from repro.cluster.spec import ClusterSpec
+from repro.cluster.storage import StorageDevice
+from repro.errors import ConfigurationError
+from repro.sim.engine import Engine
+from repro.sim.process import SimProcess
+from repro.sim.resources import FlowSystem
+from repro.sim.trace import Trace
+
+
+class Cluster:
+    """Simulated hardware instance over one virtual-time engine.
+
+    Parameters
+    ----------
+    spec:
+        Hardware description (node count, node spec, fabrics, NFS).
+    trace:
+        Pass a :class:`~repro.sim.Trace` with ``enabled=True`` to record
+        structured events (tests do; benchmarks don't, for speed).
+    """
+
+    def __init__(self, spec: ClusterSpec, *, trace: Trace | None = None) -> None:
+        self.spec = spec
+        self.trace = trace if trace is not None else Trace(enabled=False)
+        self.engine = Engine(trace=self.trace)
+        self.flows = FlowSystem()
+        self.nodes = [Node(i, spec.node, self.flows, self.trace)
+                      for i in range(spec.num_nodes)]
+        self.network = Network(spec, self.flows, self.trace)
+        self.nfs_device = StorageDevice(
+            "nfs",
+            self.flows,
+            read_bw=spec.nfs_bandwidth,
+            write_bw=spec.nfs_bandwidth / 2,
+            latency=spec.nfs_latency,
+            trace=self.trace,
+        )
+        #: filesystems mounted on this cluster, keyed by scheme
+        #: (populated by :mod:`repro.fs`)
+        self.filesystems: dict[str, Any] = {}
+
+    # -- process placement -----------------------------------------------------
+
+    def node_of(self, proc: SimProcess) -> Node:
+        """The node a simulated process is pinned to."""
+        if not isinstance(proc.node, Node):
+            raise ConfigurationError(
+                f"process {proc.name!r} is not pinned to a cluster node"
+            )
+        return proc.node
+
+    def spawn(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        node_id: int,
+        name: str | None = None,
+        **kwargs: Any,
+    ) -> SimProcess:
+        """Spawn a simulated process pinned to ``node_id``."""
+        if not 0 <= node_id < len(self.nodes):
+            raise ConfigurationError(
+                f"node_id {node_id} out of range 0..{len(self.nodes) - 1}"
+            )
+        return self.engine.spawn(
+            fn, *args, name=name, node=self.nodes[node_id], **kwargs
+        )
+
+    def placement(self, nprocs: int, procs_per_node: int) -> list[int]:
+        """Block placement: node id for each of ``nprocs`` ranks.
+
+        Matches typical MPI block mapping: rank r runs on node
+        ``r // procs_per_node``.  Raises if the cluster is too small.
+        """
+        if procs_per_node < 1:
+            raise ConfigurationError("procs_per_node must be >= 1")
+        need = -(-nprocs // procs_per_node)  # ceil
+        if need > len(self.nodes):
+            raise ConfigurationError(
+                f"{nprocs} processes at {procs_per_node}/node need {need} nodes; "
+                f"cluster has {len(self.nodes)}"
+            )
+        return [r // procs_per_node for r in range(nprocs)]
+
+    # -- running ----------------------------------------------------------------
+
+    def run(self) -> float:
+        """Run the engine to completion; returns the makespan (seconds)."""
+        return self.engine.run()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Cluster {self.spec.name} nodes={len(self.nodes)}>"

@@ -1,0 +1,48 @@
+"""A compute node: cores, memory-bandwidth pool and local scratch SSD."""
+
+from __future__ import annotations
+
+from repro.cluster.spec import NodeSpec
+from repro.cluster.storage import StorageDevice, ssd_read_efficiency
+from repro.sim.process import SimProcess
+from repro.sim.resources import FlowSystem, FluidResource
+
+
+class Node:
+    """One simulated node of the cluster.
+
+    ``mem`` is a fluid bandwidth pool shared by every process on the node
+    that streams through memory (OpenMP threads scanning a file buffer, Spark
+    tasks iterating records ...); it makes single-node scaling sub-linear for
+    memory-bound kernels, which is why OpenMP's 16-core point in Fig 4 is not
+    simply half of the 8-core one.
+    """
+
+    def __init__(self, node_id: int, spec: NodeSpec, flow_system: FlowSystem,
+                 trace=None) -> None:
+        self.id = node_id
+        self.spec = spec
+        self.ssd = StorageDevice(
+            f"ssd[{node_id}]",
+            flow_system,
+            read_bw=spec.ssd_read_bw,
+            write_bw=spec.ssd_write_bw,
+            latency=spec.ssd_latency,
+            read_efficiency=ssd_read_efficiency,
+            trace=trace,
+        )
+        self.mem = FluidResource(f"mem[{node_id}]", spec.mem_bw)
+        self._flows = flow_system
+
+    def stream_bytes(self, proc: SimProcess, nbytes: float, *, label: str = "") -> float:
+        """Stream ``nbytes`` through this node's memory system.
+
+        Blocks ``proc`` until done; concurrent streams on the same node share
+        the node's memory bandwidth.
+        """
+        return self._flows.transfer(
+            proc, (self.mem,), nbytes, label=label or f"mem[{self.id}]"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Node {self.id}>"

@@ -1,0 +1,93 @@
+"""Storage devices: node-local SSD scratch and the shared NFS/Lustre front.
+
+Devices expose blocking ``read``/``write`` primitives that charge a
+per-request service latency plus a fluid-bandwidth term.  SSD *read
+contention* — the effect Section III-C of the paper discusses (throughput
+degrading once too many processes read in parallel, cf. the threshold
+algorithm of reference [20]) — is modelled by a capacity-efficiency curve.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.sim.process import SimProcess
+from repro.sim.resources import FlowSystem, FluidResource
+from repro.sim.trace import Trace
+
+
+def ssd_read_efficiency(n_active: int) -> float:
+    """Aggregate-throughput multiplier for ``n_active`` concurrent readers.
+
+    Up to 4 parallel streams an SSD keeps full sequential throughput; beyond
+    that, request interleaving costs ~3 % per extra stream down to a floor of
+    75 % — a smooth stand-in for the thresholds in the paper's reference
+    [20].
+    """
+    if n_active <= 4:
+        return 1.0
+    return max(0.75, 1.0 - 0.03 * (n_active - 4))
+
+
+class StorageDevice:
+    """One device with independent read and write bandwidth pools.
+
+    Parameters
+    ----------
+    name:
+        Identifier (e.g. ``"ssd[3]"`` or ``"nfs"``).
+    flow_system:
+        The cluster's flow coordinator.
+    read_bw / write_bw:
+        Sequential bandwidths, bytes/s.
+    latency:
+        Per-request service latency, seconds.
+    read_efficiency:
+        Optional concurrency-degradation curve for reads (see
+        :func:`ssd_read_efficiency`).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        flow_system: FlowSystem,
+        *,
+        read_bw: float,
+        write_bw: float,
+        latency: float,
+        read_efficiency: Callable[[int], float] | None = None,
+        trace: Trace | None = None,
+    ) -> None:
+        self.name = name
+        self.flows = flow_system
+        self.latency = latency
+        self.trace = trace if trace is not None else Trace(enabled=False)
+        self._read = FluidResource(
+            f"{name}:read", read_bw, efficiency=read_efficiency
+        )
+        self._write = FluidResource(f"{name}:write", write_bw)
+
+    def read(self, proc: SimProcess, nbytes: float, *, label: str = "") -> float:
+        """Read ``nbytes``; blocks ``proc``; returns completion time."""
+        proc.compute(self.latency)
+        done = self.flows.transfer(
+            proc, (self._read,), nbytes, label=label or f"read:{self.name}"
+        )
+        self.trace.record(done, proc.name, "disk.read",
+                          device=self.name, nbytes=int(nbytes))
+        return done
+
+    def write(self, proc: SimProcess, nbytes: float, *, label: str = "") -> float:
+        """Write ``nbytes``; blocks ``proc``; returns completion time."""
+        proc.compute(self.latency)
+        done = self.flows.transfer(
+            proc, (self._write,), nbytes, label=label or f"write:{self.name}"
+        )
+        self.trace.record(done, proc.name, "disk.write",
+                          device=self.name, nbytes=int(nbytes))
+        return done
+
+    @property
+    def active_readers(self) -> int:
+        """Number of in-flight read flows (for tests)."""
+        return len(self._read.flows)

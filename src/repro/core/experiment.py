@@ -1,0 +1,144 @@
+"""Experiment registry and runner.
+
+Maps experiment ids (``table1`` ... ``fig7`` plus ablations) to the
+functions in :mod:`repro.core.figures` and :mod:`repro.core.ablations`.
+Usable programmatically or from the command line::
+
+    python -m repro.core.experiment fig3
+    python -m repro.core.experiment table2 --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.core.report import FigureResult, TableResult
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A registered, runnable paper experiment."""
+
+    exp_id: str
+    description: str
+    run: Callable[..., FigureResult | TableResult]
+    #: smaller parameter overrides for quick runs / CI
+    quick_params: dict[str, Any]
+
+
+def _registry() -> dict[str, Experiment]:
+    from repro.core import ablations, extras, figures, validate
+    from repro.units import GiB, KiB
+    from repro.workloads.graphs import GraphSpec
+    from repro.workloads.stackexchange import StackExchangeSpec
+
+    return {
+        "table1": Experiment(
+            "table1", "Comet node configuration", figures.table1, {}),
+        "fig3": Experiment(
+            "fig3", "Reduce microbenchmark (MPI vs Spark vs Spark-RDMA)",
+            figures.fig3,
+            {"sizes": [4, 1 * KiB, 64 * KiB], "nodes": 2, "iterations": 3}),
+        "table2": Experiment(
+            "table2", "Parallel file read (HDFS vs local vs MPI-IO)",
+            figures.table2,
+            {"logical_sizes": (10**9,), "nodes": 2}),
+        "fig4": Experiment(
+            "fig4", "StackExchange AnswersCount across frameworks",
+            figures.fig4,
+            {"proc_counts": (8, 16), "logical_size": 4 * GiB,
+             "spec": StackExchangeSpec(n_posts=4000)}),
+        "fig6": Experiment(
+            "fig6", "BigDataBench PageRank (MPI vs Spark vs Spark-RDMA)",
+            figures.fig6,
+            {"node_counts": (1, 2), "procs_per_node": 4,
+             "graph": GraphSpec(n_vertices=2000, out_degree=4),
+             "iterations": 3}),
+        "fig7": Experiment(
+            "fig7", "HiBench PageRank (Spark vs Spark-RDMA)",
+            figures.fig7,
+            {"node_counts": (1, 2), "procs_per_node": 4,
+             "graph": GraphSpec(n_vertices=2000, out_degree=4),
+             "iterations": 3}),
+        "table3": Experiment(
+            "table3", "Maintainability: LoC + boilerplate", figures.table3, {}),
+        "ablation-persist": Experiment(
+            "ablation-persist",
+            "PageRank with/without the Fig 5 persist+partition tuning",
+            ablations.ablation_persist,
+            {"graph": GraphSpec(n_vertices=2000, out_degree=4),
+             "iterations": 3, "nodes": 2, "procs_per_node": 4}),
+        "ablation-replication": Experiment(
+            "ablation-replication",
+            "HDFS replication factor vs executor locality (Section V-B2)",
+            ablations.ablation_replication,
+            {"logical_size": 2 * GiB}),
+        "ablation-faults": Experiment(
+            "ablation-faults",
+            "Fault recovery cost: Spark lineage vs Hadoop retry",
+            ablations.ablation_faults, {}),
+        "extra-kmeans": Experiment(
+            "extra-kmeans",
+            "k-means MPI vs Spark on one platform (related work [38])",
+            extras.extra_kmeans,
+            {"node_counts": (1, 2), "n_points": 2000, "iterations": 3,
+             "procs_per_node": 4}),
+        "extra-mapreduce": Experiment(
+            "extra-mapreduce",
+            "MapReduce engines head-to-head (related work [36]/[37])",
+            extras.extra_mapreduce,
+            {"nodes": 2, "procs_per_node": 4,
+             "spec": StackExchangeSpec(n_posts=2000)}),
+        "validate": Experiment(
+            "validate",
+            "Cross-check every implementation against its reference",
+            validate.validate,
+            {"n_posts": 1500, "n_vertices": 200, "iterations": 3}),
+    }
+
+
+#: experiment id -> Experiment
+EXPERIMENTS: dict[str, Experiment] = {}
+
+
+def _ensure_registry() -> dict[str, Experiment]:
+    if not EXPERIMENTS:
+        EXPERIMENTS.update(_registry())
+    return EXPERIMENTS
+
+
+def run_experiment(exp_id: str, *, quick: bool = False,
+                   **overrides: Any) -> FigureResult | TableResult:
+    """Run one experiment by id; ``quick=True`` applies the CI-sized params."""
+    reg = _ensure_registry()
+    if exp_id not in reg:
+        raise KeyError(
+            f"unknown experiment {exp_id!r}; have {sorted(reg)}")
+    exp = reg[exp_id]
+    params = dict(exp.quick_params) if quick else {}
+    params.update(overrides)
+    return exp.run(**params)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate a table/figure from the paper")
+    parser.add_argument("experiment", nargs="?", default=None,
+                        help="experiment id (omit to list)")
+    parser.add_argument("--quick", action="store_true",
+                        help="use reduced, CI-sized parameters")
+    args = parser.parse_args(argv)
+    reg = _ensure_registry()
+    if args.experiment is None:
+        for exp in reg.values():
+            print(f"{exp.exp_id:22s} {exp.description}")
+        return 0
+    result = run_experiment(args.experiment, quick=args.quick)
+    print(result.render())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,123 @@
+"""Extension experiments beyond the paper's own figures.
+
+Two comparisons the paper's related-work section identifies as missing:
+
+* :func:`extra_kmeans` — the k-means cross-paradigm benchmark of [38], but
+  on a single platform ([38] "used a range of different platforms for each
+  paradigm, which makes it difficult to judge");
+* :func:`extra_mapreduce` — MapReduce-over-MPI vs Hadoop vs Spark on the
+  same input ([36] "does not provide any comparison to reference
+  implementations of Map-Reduce such as Hadoop").
+"""
+
+from __future__ import annotations
+
+from repro.apps.kmeans import kmeans_points, mpi_kmeans, spark_kmeans
+from repro.cluster import COMET, Cluster
+from repro.core.report import FigureResult, Series, TableResult
+from repro.fs import HDFS, LocalFS
+from repro.mapreduce import JobConf, run_job
+from repro.mpi.mapreduce import run_mpi_mapreduce
+from repro.spark import SparkContext
+from repro.units import fmt_seconds
+from repro.workloads.stackexchange import StackExchangeSpec, stackexchange_content
+
+
+def _comet(nodes: int) -> Cluster:
+    return Cluster(COMET.with_nodes(nodes))
+
+
+def extra_kmeans(
+    node_counts: tuple[int, ...] = (1, 2, 4, 8),
+    *,
+    n_points: int = 20_000,
+    k: int = 8,
+    dim: int = 4,
+    iterations: int = 10,
+    procs_per_node: int = 8,
+) -> FigureResult:
+    """K-means time vs node count, MPI vs Spark (identical numerics)."""
+    import numpy as np
+
+    points = kmeans_points(n_points, dim=dim, k=k)
+    fig = FigureResult(
+        "Extra: k-means",
+        f"k-means ({n_points} points, k={k}, {iterations} iterations,"
+        f" {procs_per_node} processes/node)",
+        "nodes", "execution time (s)")
+    mpi = Series("MPI")
+    spark = Series("Spark")
+    reference = None
+    for nodes in node_counts:
+        t, cent = mpi_kmeans(_comet(nodes), points, k,
+                             nodes * procs_per_node, procs_per_node,
+                             iterations=iterations)
+        mpi.add(nodes, t)
+        t, cent_s = spark_kmeans(_comet(nodes), points, k, procs_per_node,
+                                 iterations=iterations)
+        spark.add(nodes, t)
+        if reference is None:
+            reference = cent
+        np.testing.assert_allclose(cent, reference, rtol=1e-9)
+        np.testing.assert_allclose(cent_s, reference, rtol=1e-9)
+    fig.series = [mpi, spark]
+    return fig
+
+
+def extra_mapreduce(
+    *,
+    nodes: int = 4,
+    procs_per_node: int = 8,
+    spec: StackExchangeSpec | None = None,
+) -> TableResult:
+    """Word-count over the posts corpus: Hadoop vs MPI-MapReduce vs Spark."""
+    spec = spec or StackExchangeSpec(n_posts=10_000)
+    content = stackexchange_content(spec)
+
+    def mapper(line: str):
+        return [(w, 1) for w in line.split(",")[4].split()[:8]]
+
+    def reducer(key, values):
+        return [(key, sum(values))]
+
+    rows = []
+
+    cl = _comet(nodes)
+    HDFS(cl, replication=nodes).create("posts.txt", content)
+    hadoop = run_job(cl, JobConf(
+        name="wc", input_url="hdfs://posts.txt", mapper=mapper,
+        reducer=reducer, combiner=reducer,
+        num_reduces=nodes * procs_per_node),
+        map_slots_per_node=procs_per_node)
+    reference = dict(hadoop.output)
+    rows.append(["Hadoop MapReduce", fmt_seconds(hadoop.elapsed)])
+
+    cl = _comet(nodes)
+    LocalFS(cl).create_replicated("posts.txt", content)
+    mpi_out, mpi_t = run_mpi_mapreduce(
+        cl, cl.filesystems["local"], "posts.txt", mapper, reducer,
+        nprocs=nodes * procs_per_node, procs_per_node=procs_per_node,
+        combiner=reducer)
+    assert dict(mpi_out) == reference, "MPI MapReduce output mismatch"
+    rows.append(["MapReduce over MPI ([36]/[37])", fmt_seconds(mpi_t)])
+
+    cl = _comet(nodes)
+    HDFS(cl, replication=nodes).create("posts.txt", content)
+    sc = SparkContext(cl, executors_per_node=procs_per_node)
+
+    def app(sc):
+        return dict(
+            sc.text_file("hdfs://posts.txt")
+            .flat_map(lambda line: mapper(line))
+            .reduce_by_key(lambda a, b: a + b, nodes * procs_per_node)
+            .collect())
+
+    res = sc.run(app)
+    assert res.value == reference, "Spark output mismatch"
+    rows.append(["Spark (reduceByKey)", fmt_seconds(res.app_elapsed)])
+
+    return TableResult(
+        "Extra: MapReduce engines",
+        f"Word-count, same input/output on {nodes} nodes "
+        f"({procs_per_node} processes/node)",
+        ["Engine", "Time"], rows)

@@ -1,0 +1,351 @@
+"""One function per paper table/figure: build cluster, run, collect.
+
+Default parameters are sized so the whole suite regenerates in minutes on a
+laptop while preserving the paper's qualitative shapes; every function takes
+explicit size knobs so tests can shrink further and ambitious users can
+scale up.  Data *logical* sizes match the paper via the filesystem
+``scale`` mechanism (an "80 GB" file carries MBs of physical payload); graph
+sizes are physically real and therefore default below the paper's 10^6
+vertices (see EXPERIMENTS.md for the sizing discussion).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.apps.answerscount import (
+    hadoop_answers_count,
+    mpi_answers_count,
+    openmp_answers_count,
+    spark_answers_count,
+)
+from repro.apps.fileread import mpi_parallel_read, spark_parallel_read
+from repro.apps.pagerank import (
+    mpi_pagerank,
+    spark_pagerank_bigdatabench,
+    spark_pagerank_hibench,
+)
+from repro.apps.reduce_bench import (
+    mpi_reduce_latency,
+    shmem_reduce_latency,
+    spark_reduce_latency,
+)
+from repro.cluster import COMET, Cluster
+from repro.core.metrics import TABLE3_CORPUS, measure_module
+from repro.core.report import FigureResult, Series, TableResult
+from repro.errors import SimProcessError
+from repro.fs import HDFS, LocalFS
+from repro.fs.content import LineContent
+from repro.units import GiB, KiB, MiB, fmt_bytes, fmt_rate
+from repro.workloads.graphs import GraphSpec, with_ring
+from repro.workloads.stackexchange import StackExchangeSpec, stackexchange_content
+
+
+def _comet(nodes: int) -> Cluster:
+    return Cluster(COMET.with_nodes(nodes))
+
+
+# ---------------------------------------------------------------------------
+# Table I — experimental setup
+# ---------------------------------------------------------------------------
+
+
+def table1() -> TableResult:
+    """The Comet node configuration the simulator encodes (paper Table I)."""
+    node = COMET.node
+    rows = [
+        ["Processor type", "Intel Xeon E5-2680v3 (modelled)"],
+        ["Sockets #", "2"],
+        ["Cores/socket", str(node.cores // 2)],
+        ["Clock speed", f"{node.clock_hz / 1e9:.1f} GHz"],
+        ["Flop speed", f"{node.flops / 1e9:.0f} GFlop/s"],
+        ["Memory capacity", f"{node.mem_bytes // 2**30} GiB"],
+        ["Interconnect", "FDR InfiniBand (RDMA / IPoIB modelled)"],
+        ["Local scratch", fmt_bytes(node.ssd_bytes)
+         + f" SSD @ {fmt_rate(node.ssd_read_bw)}"],
+    ]
+    return TableResult("Table I", "Comet node configuration",
+                       ["Attribute", "Value"], rows)
+
+
+# ---------------------------------------------------------------------------
+# Fig 3 — reduce microbenchmark
+# ---------------------------------------------------------------------------
+
+
+def fig3(
+    sizes: list[int] | None = None,
+    *,
+    nodes: int = 8,
+    procs_per_node: int = 8,
+    iterations: int = 10,
+    include_shmem: bool = False,
+) -> FigureResult:
+    """Reduce latency vs message size: MPI, Spark, Spark-RDMA (64 procs)."""
+    sizes = sizes or [4, 64, 1 * KiB, 16 * KiB, 256 * KiB, 1 * MiB]
+    nprocs = nodes * procs_per_node
+    fig = FigureResult("Fig 3", "Reduce microbenchmark"
+                       f" ({nprocs} processes, {procs_per_node}/node)",
+                       "message size (bytes)", "latency (s)")
+
+    mpi = mpi_reduce_latency(_comet(nodes), sizes, nprocs, procs_per_node,
+                             iterations=iterations)
+    fig.series.append(Series("MPI", [(s, mpi[s]) for s in sizes]))
+    for transport, label in (("socket", "Spark"), ("rdma", "Spark-RDMA")):
+        lat = spark_reduce_latency(_comet(nodes), sizes, nprocs,
+                                   procs_per_node, shuffle_transport=transport,
+                                   iterations=max(1, iterations // 3))
+        fig.series.append(Series(label, [(s, lat[s]) for s in sizes]))
+    if include_shmem:
+        shm = shmem_reduce_latency(_comet(nodes), sizes, nprocs,
+                                   procs_per_node, iterations=iterations)
+        fig.series.append(Series("OpenSHMEM", [(s, shm[s]) for s in sizes]))
+    return fig
+
+
+# ---------------------------------------------------------------------------
+# Table II — parallel file read
+# ---------------------------------------------------------------------------
+
+
+def _make_input(cluster: Cluster, logical_size: int, *, physical: int = 2 * MiB,
+                replication: int | None = None) -> None:
+    """Install the read benchmark's input on local scratch and HDFS."""
+    line = "payload-%08d-" + "z" * 100
+    content = LineContent(lambda i: line % i, physical // 115)
+    scale = max(1, logical_size // content.size)
+    LocalFS(cluster).create_replicated("input.dat", content, scale=scale)
+    HDFS(cluster, replication=replication or len(cluster.nodes)).create(
+        "input.dat", content, scale=scale)
+
+
+def table2(
+    logical_sizes: tuple[int, ...] = (8 * 10**9, 80 * 10**9),
+    *,
+    nodes: int = 8,
+    procs_per_node: int = 8,
+) -> TableResult:
+    """Parallel file read times (paper Table II)."""
+    headers = ["File size", "Spark on HDFS (scratch fs)",
+               "Spark on local files (scratch fs)", "MPI (scratch fs)"]
+    table = TableResult("Table II", "Parallel file read microbenchmark",
+                        headers, [])
+    from repro.units import fmt_seconds
+
+    for size in logical_sizes:
+        cl = _comet(nodes)
+        _make_input(cl, size)
+        t_hdfs, n1 = spark_parallel_read(cl, "hdfs://input.dat",
+                                         procs_per_node)
+        cl = _comet(nodes)
+        _make_input(cl, size)
+        # local files split at the same ~128 MB granularity HDFS blocks give
+        splits = max(nodes * procs_per_node, size // (128 * 10**6))
+        t_local, n2 = spark_parallel_read(cl, "local://input.dat",
+                                          procs_per_node,
+                                          min_partitions=splits)
+        cl = _comet(nodes)
+        _make_input(cl, size)
+        t_mpi, n3 = mpi_parallel_read(cl, cl.filesystems["local"],
+                                      "input.dat", nodes * procs_per_node,
+                                      procs_per_node)
+        assert n1 == n2 == n3, "implementations disagree on record count"
+        table.rows.append([fmt_bytes(size), fmt_seconds(t_hdfs),
+                           fmt_seconds(t_local), fmt_seconds(t_mpi)])
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Fig 4 — StackExchange AnswersCount
+# ---------------------------------------------------------------------------
+
+
+def fig4(
+    proc_counts: tuple[int, ...] = (8, 16, 32, 64, 128),
+    *,
+    procs_per_node: int = 8,
+    logical_size: int = 80 * GiB,
+    spec: StackExchangeSpec | None = None,
+) -> FigureResult:
+    """AnswersCount execution time vs process count (paper Fig 4).
+
+    OpenMP appears only at thread counts that fit one node; MPI points
+    where the 2 GiB ``int`` chunk limit bites are recorded as absent —
+    exactly the gaps the paper describes.
+    """
+    spec = spec or StackExchangeSpec(n_posts=20_000)
+    content = stackexchange_content(spec)
+    scale = max(1, logical_size // content.size)
+    max_nodes = max(-(-p // procs_per_node) for p in proc_counts)
+
+    def cluster_with_data(nodes: int) -> Cluster:
+        cl = _comet(nodes)
+        LocalFS(cl).create_replicated("posts.txt", content, scale=scale)
+        HDFS(cl, replication=nodes).create("posts.txt", content, scale=scale)
+        return cl
+
+    fig = FigureResult("Fig 4", "StackExchange AnswersCount"
+                       f" ({fmt_bytes(content.size * scale)} dataset,"
+                       f" {procs_per_node} processes/node)",
+                       "processes", "execution time (s)")
+    omp = Series("OpenMP")
+    mpi = Series("MPI")
+    spark = Series("Spark")
+    hadoop = Series("Hadoop")
+    node_cores = COMET.node.cores
+    for p in proc_counts:
+        nodes = -(-p // procs_per_node)
+        # OpenMP: single node only
+        if p <= node_cores:
+            cl = cluster_with_data(1)
+            t, _ = openmp_answers_count(cl, cl.filesystems["local"],
+                                        "posts.txt", p)
+            omp.add(p, t)
+        else:
+            omp.add(p, None)
+        # MPI: absent where a chunk exceeds INT_MAX
+        cl = cluster_with_data(nodes)
+        try:
+            t, _ = mpi_answers_count(cl, cl.filesystems["local"],
+                                     "posts.txt", p, procs_per_node)
+            mpi.add(p, t)
+        except SimProcessError as exc:
+            from repro.errors import MPIIntOverflowError
+
+            if not isinstance(exc.__cause__, MPIIntOverflowError):
+                raise
+            mpi.add(p, None)
+        cl = cluster_with_data(nodes)
+        t, _ = spark_answers_count(cl, "hdfs://posts.txt", procs_per_node,
+                                   executor_nodes=list(range(nodes)))
+        spark.add(p, t)
+        cl = cluster_with_data(nodes)
+        t, _ = hadoop_answers_count(cl, "hdfs://posts.txt",
+                                    map_slots_per_node=procs_per_node)
+        hadoop.add(p, t)
+    fig.series = [omp, mpi, spark, hadoop]
+    return fig
+
+
+# ---------------------------------------------------------------------------
+# Fig 6 / Fig 7 — PageRank
+# ---------------------------------------------------------------------------
+
+
+def _pagerank_inputs(
+    graph: GraphSpec, spark_physical_vertices: int
+):
+    """Inputs for the two fidelity levels of the PageRank figures.
+
+    The MPI implementation is fully vectorised, so it runs the paper's
+    *actual* vertex count on real data (edge arrays).  The Spark engine
+    computes on real Python records, so it runs a structurally identical
+    *physical sample* of the graph and is timed via ``record_scale`` as if
+    each record were ``graph.n_vertices / sample`` records — the same
+    logical-vs-physical scaling the filesystems use (DESIGN.md §2).
+
+    Returns ``(mpi_edges, spark_content, n_spark, record_scale)`` where
+    ``spark_content`` is the HDFS edge-list payload.
+    """
+    import dataclasses
+
+    from repro.workloads.graphs import edge_list_content, with_ring_arrays
+
+    src, dst = graph.generate_arrays()
+    mpi_edges = with_ring_arrays(src, dst, graph.n_vertices)
+    n_spark = min(graph.n_vertices, spark_physical_vertices)
+    sample = dataclasses.replace(graph, n_vertices=n_spark)
+    spark_edges = with_ring(sample.generate(), n_spark)
+    record_scale = max(1, graph.n_vertices // n_spark)
+    return mpi_edges, edge_list_content(spark_edges), n_spark, record_scale
+
+
+def _spark_pagerank_cluster(nodes: int, content, record_scale: int) -> Cluster:
+    cl = _comet(nodes)
+    HDFS(cl, replication=nodes).create("edges.txt", content,
+                                       scale=record_scale)
+    return cl
+
+
+def fig6(
+    node_counts: tuple[int, ...] = (1, 2, 4, 8),
+    *,
+    procs_per_node: int = 16,
+    graph: GraphSpec | None = None,
+    iterations: int = 10,
+    spark_physical_vertices: int = 16_000,
+) -> FigureResult:
+    """BigDataBench PageRank: MPI vs Spark vs Spark-RDMA (paper Fig 6)."""
+    graph = graph or GraphSpec(n_vertices=1_000_000, out_degree=8)
+    mpi_edges, content, n_spark, record_scale = _pagerank_inputs(
+        graph, spark_physical_vertices)
+    fig = FigureResult(
+        "Fig 6",
+        f"BigDataBench PageRank ({graph.n_vertices} vertices,"
+        f" {procs_per_node} processes/node)",
+        "nodes", "execution time (s)")
+    s_mpi = Series("MPI")
+    for nodes in node_counts:
+        t, _ = mpi_pagerank(_comet(nodes), mpi_edges, graph.n_vertices,
+                            nodes * procs_per_node, procs_per_node,
+                            iterations=iterations)
+        s_mpi.add(nodes, t)
+    fig.series.append(s_mpi)
+    for transport, label in (("socket", "Spark"), ("rdma", "Spark-RDMA")):
+        s = Series(label)
+        for nodes in node_counts:
+            cl = _spark_pagerank_cluster(nodes, content, record_scale)
+            t, _ = spark_pagerank_bigdatabench(
+                cl, "hdfs://edges.txt", n_spark, procs_per_node,
+                iterations=iterations, shuffle_transport=transport,
+                record_scale=record_scale)
+            s.add(nodes, t)
+        fig.series.append(s)
+    return fig
+
+
+def fig7(
+    node_counts: tuple[int, ...] = (1, 2, 4, 8),
+    *,
+    procs_per_node: int = 16,
+    graph: GraphSpec | None = None,
+    iterations: int = 10,
+    spark_physical_vertices: int = 16_000,
+) -> FigureResult:
+    """HiBench PageRank: Spark default vs Spark-RDMA (paper Fig 7)."""
+    graph = graph or GraphSpec(n_vertices=1_000_000, out_degree=8)
+    _mpi_edges, content, n_spark, record_scale = _pagerank_inputs(
+        graph, spark_physical_vertices)
+    fig = FigureResult(
+        "Fig 7",
+        f"HiBench PageRank ({graph.n_vertices} vertices,"
+        f" {procs_per_node} processes/node)",
+        "nodes", "execution time (s)")
+    for transport, label in (("socket", "Spark"), ("rdma", "Spark-RDMA")):
+        s = Series(label)
+        for nodes in node_counts:
+            cl = _spark_pagerank_cluster(nodes, content, record_scale)
+            t, _ = spark_pagerank_hibench(
+                cl, "hdfs://edges.txt", n_spark, procs_per_node,
+                iterations=iterations, shuffle_transport=transport,
+                record_scale=record_scale)
+            s.add(nodes, t)
+        fig.series.append(s)
+    return fig
+
+
+# ---------------------------------------------------------------------------
+# Table III — maintainability
+# ---------------------------------------------------------------------------
+
+
+def table3() -> TableResult:
+    """LoC + boilerplate per (benchmark, model) over :mod:`repro.apps`."""
+    table = TableResult(
+        "Table III", "Lines of code and boilerplate per implementation",
+        ["Benchmark", "Model", "Code LoC", "Boilerplate LoC"], [])
+    for (bench, model), module in sorted(TABLE3_CORPUS.items()):
+        m = measure_module(module)
+        table.rows.append([bench, model, str(m.code_lines),
+                           str(m.boilerplate_lines)])
+    return table

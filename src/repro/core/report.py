@@ -1,0 +1,113 @@
+"""Result containers and terminal rendering for experiments.
+
+Every experiment returns either a :class:`TableResult` (paper tables) or a
+:class:`FigureResult` (paper figures: one or more series over a shared
+x-axis).  Rendering is plain ASCII so benchmark logs double as the
+reproduction record in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.units import fmt_seconds
+
+
+@dataclass
+class Series:
+    """One line of a figure: ``points[i] = (x, y-or-None)``.
+
+    ``None`` y-values are rendered as ``--`` and mean "this configuration
+    cannot run" (e.g. MPI below 41 processes on the 80 GiB input in Fig 4).
+    """
+
+    name: str
+    points: list[tuple[Any, float | None]] = field(default_factory=list)
+
+    def add(self, x: Any, y: float | None) -> None:
+        self.points.append((x, y))
+
+    def y_for(self, x: Any) -> float | None:
+        for px, py in self.points:
+            if px == x:
+                return py
+        raise KeyError(f"series {self.name!r} has no point at x={x!r}")
+
+
+@dataclass
+class FigureResult:
+    """A reproduced figure: series over a shared x-axis."""
+
+    figure_id: str
+    title: str
+    xlabel: str
+    ylabel: str
+    series: list[Series] = field(default_factory=list)
+
+    def xs(self) -> list[Any]:
+        seen: list[Any] = []
+        for s in self.series:
+            for x, _ in s.points:
+                if x not in seen:
+                    seen.append(x)
+        return seen
+
+    def render(self, *, time_values: bool = True) -> str:
+        """ASCII table: one row per x, one column per series."""
+        xs = self.xs()
+        headers = [self.xlabel] + [s.name for s in self.series]
+        rows = []
+        for x in xs:
+            row = [str(x)]
+            for s in self.series:
+                try:
+                    y = s.y_for(x)
+                except KeyError:
+                    y = None
+                if y is None:
+                    row.append("--")
+                elif time_values:
+                    row.append(fmt_seconds(y))
+                else:
+                    row.append(f"{y:.4g}")
+            rows.append(row)
+        body = _ascii_table(headers, rows)
+        return f"{self.figure_id}: {self.title}  [y: {self.ylabel}]\n{body}"
+
+
+@dataclass
+class TableResult:
+    """A reproduced table: headers + string rows."""
+
+    table_id: str
+    title: str
+    headers: list[str]
+    rows: list[list[str]] = field(default_factory=list)
+
+    def render(self) -> str:
+        return f"{self.table_id}: {self.title}\n" + _ascii_table(
+            self.headers, self.rows)
+
+    def cell(self, row_key: str, column: str) -> str:
+        """Row whose first cell equals ``row_key``, at ``column``."""
+        ci = self.headers.index(column)
+        for row in self.rows:
+            if row[0] == row_key:
+                return row[ci]
+        raise KeyError(f"no row {row_key!r}")
+
+
+def _ascii_table(headers: list[str], rows: list[list[str]]) -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: list[str]) -> str:
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+    sep = "-+-".join("-" * w for w in widths)
+    out = [fmt_row(headers), sep]
+    out.extend(fmt_row(r) for r in rows)
+    return "\n".join(out)

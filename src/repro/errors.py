@@ -1,0 +1,116 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the simulator, the filesystems or the programming-model
+runtimes derives from :class:`ReproError`, so callers can catch one base
+class.  Errors that correspond to behaviour *observed in the paper* (e.g. the
+``int`` overflow of ``MPI_File_read_at_all`` in Section V-C) have their own
+type so the benchmark harness can distinguish "the model failed the way the
+real system fails" from genuine bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SimulationError(ReproError):
+    """Base class for errors raised by the virtual-time engine."""
+
+
+class DeadlockError(SimulationError):
+    """All live simulated processes are blocked and nothing can wake them.
+
+    The message lists every blocked process and what it is waiting on, which
+    is usually enough to diagnose e.g. an MPI send/recv cycle.
+    """
+
+
+class SimProcessError(SimulationError):
+    """A simulated process terminated with an exception.
+
+    The original exception is available as ``__cause__``.
+    """
+
+    def __init__(self, process_name: str, message: str = "") -> None:
+        self.process_name = process_name
+        super().__init__(message or f"simulated process {process_name!r} failed")
+
+
+class SimKilled(BaseException):  # noqa: N818 - deliberate: not an Exception
+    """Injected into a simulated process to unwind it when the run aborts.
+
+    Derives from :class:`BaseException` so that user code with a broad
+    ``except Exception`` cannot accidentally swallow the shutdown request.
+    """
+
+
+class ConfigurationError(ReproError):
+    """A cluster, runtime or experiment was configured inconsistently."""
+
+
+class FileSystemError(ReproError):
+    """Base class for simulated-filesystem errors."""
+
+
+class FileNotFoundInSim(FileSystemError):
+    """The requested path does not exist in the simulated filesystem."""
+
+
+class FileExistsInSim(FileSystemError):
+    """The path already exists and the operation does not allow overwrite."""
+
+
+class HDFSError(FileSystemError):
+    """HDFS-specific failure (e.g. not enough live datanodes to replicate)."""
+
+
+class BlockUnavailableError(HDFSError):
+    """Every datanode holding a replica of the requested block is dead."""
+
+
+class MPIError(ReproError):
+    """Base class for errors raised by the MPI-like runtime."""
+
+
+class MPIIntOverflowError(MPIError):
+    """An MPI count argument exceeded ``INT_MAX`` (2**31 - 1).
+
+    This reproduces the limitation discussed in Section V-C of the paper:
+    ``MPI_File_read_at_all`` expresses the per-process chunk size as a C
+    ``int``, so a file larger than ``nprocs * 2 GiB`` cannot be read
+    collectively.
+    """
+
+
+class MPICommError(MPIError):
+    """Invalid rank, tag or communicator usage."""
+
+
+class ShmemError(ReproError):
+    """Errors raised by the OpenSHMEM-like runtime."""
+
+
+class OpenMPError(ReproError):
+    """Errors raised by the OpenMP-like runtime."""
+
+
+class SparkError(ReproError):
+    """Base class for errors raised by the Spark-like engine."""
+
+
+class ExecutorLostError(SparkError):
+    """An executor died while running tasks; the scheduler may retry."""
+
+
+class JobAbortedError(SparkError):
+    """A job failed permanently (e.g. too many task retries)."""
+
+
+class MapReduceError(ReproError):
+    """Errors raised by the Hadoop-MapReduce-like engine."""
+
+
+class TaskFailedError(MapReduceError):
+    """A map or reduce task exhausted its retry budget."""

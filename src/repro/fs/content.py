@@ -1,0 +1,99 @@
+"""Deterministic file payloads.
+
+A :class:`ContentProvider` supplies the *physical* bytes of a simulated
+file.  Providers are deterministic functions of their construction
+parameters, so the same experiment always processes the same data, and a
+sequential reference implementation can re-derive the expected answer.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Iterator
+
+
+class ContentProvider(ABC):
+    """Random-access byte source for a simulated file's physical payload."""
+
+    @property
+    @abstractmethod
+    def size(self) -> int:
+        """Physical payload size in bytes."""
+
+    @abstractmethod
+    def read(self, offset: int, length: int) -> bytes:
+        """Bytes in ``[offset, offset + length)``, clamped to the payload."""
+
+    def read_all(self) -> bytes:
+        """The whole physical payload (host-side convenience)."""
+        return self.read(0, self.size)
+
+
+class BytesContent(ContentProvider):
+    """A literal byte string."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = bytes(data)
+
+    @property
+    def size(self) -> int:
+        return len(self._data)
+
+    def read(self, offset: int, length: int) -> bytes:
+        if offset < 0 or length < 0:
+            raise ValueError(f"invalid range: offset={offset} length={length}")
+        return self._data[offset : offset + length]
+
+
+class LineContent(BytesContent):
+    """Newline-delimited records produced by a deterministic generator.
+
+    Parameters
+    ----------
+    line_fn:
+        ``line_fn(i) -> str`` returning record ``i`` *without* the trailing
+        newline.  Must be deterministic.
+    n_lines:
+        Number of records to materialise.
+
+    The payload is materialised once at construction; physical payloads in
+    this package are megabytes, not the logical tens of gigabytes, so this
+    is cheap and gives exact random access.
+    """
+
+    def __init__(self, line_fn: Callable[[int], str], n_lines: int) -> None:
+        if n_lines < 0:
+            raise ValueError(f"n_lines must be >= 0, got {n_lines}")
+        chunks = []
+        for i in range(n_lines):
+            line = line_fn(i)
+            if "\n" in line:
+                raise ValueError(f"line {i} contains a newline: {line!r}")
+            chunks.append(line)
+        data = ("\n".join(chunks) + "\n").encode() if chunks else b""
+        super().__init__(data)
+        self.n_lines = n_lines
+
+    def lines(self) -> Iterator[str]:
+        """Iterate records (host-side convenience for references/tests)."""
+        data = self.read_all()
+        if not data:
+            return iter(())
+        return iter(data.decode().splitlines())
+
+
+def split_records(chunk: bytes, *, first: bool) -> list[bytes]:
+    """Record-boundary handling for a chunk of a newline-delimited file.
+
+    Mirrors what Hadoop's ``TextInputFormat`` and hand-written MPI readers
+    do: a reader owning byte range ``[s, e)`` processes every record that
+    *starts* inside its range.  Callers pass a chunk extended past ``e`` to
+    the end of the last overlapping record; this helper drops the partial
+    leading record for every chunk except the first.
+    """
+    lines = chunk.split(b"\n")
+    if lines and lines[-1] == b"":
+        lines.pop()
+    if not first and lines:
+        lines = lines[1:]
+    return lines

@@ -1,0 +1,290 @@
+"""HDFS: blocks, replication, locality and transparent datanode failure.
+
+This models the parts of HDFS the paper's experiments exercise:
+
+* files are split into fixed-size **blocks** (128 MB by default) distributed
+  over datanodes with a **replication factor** (3 by default; the paper's
+  Section V-B2 raises it to the executor count to fix locality);
+* a reader served by a **local replica** pays only its node's SSD; a remote
+  replica adds a network transfer over the Hadoop fabric (IPoIB on Comet);
+* **datanode failure is transparent**: reads fall over to surviving replicas
+  (Section VI-D's "failure at HDFS level ... will not propagate to the
+  application level"); only when every replica of a block is dead does
+  :class:`~repro.errors.BlockUnavailableError` surface;
+* block locations are exposed so Spark/MapReduce schedulers can place tasks
+  near their data.
+
+Placement policy: replica 0 of block *i* lands on datanode ``i % N`` and
+further replicas on the following distinct nodes — deterministic, which the
+paper's locality experiment needs (it manufactures *non*-local blocks by
+restricting executors to a subset of nodes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.cluster.cluster import Cluster
+from repro.errors import BlockUnavailableError, ConfigurationError, HDFSError
+from repro.fs.base import FileSystem, SimFile
+from repro.fs.content import BytesContent, ContentProvider
+from repro.sim.process import SimProcess
+from repro.units import MB
+
+DEFAULT_BLOCK_SIZE = 128 * MB
+
+#: Namenode metadata round-trip charged once per block access.
+NAMENODE_LOOKUP = 250e-6
+
+
+@dataclass
+class Block:
+    """One HDFS block: a logical byte range plus its replica set."""
+
+    index: int
+    start: int              # logical offset of first byte
+    end: int                # logical offset one past last byte
+    replicas: list[int] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return self.end - self.start
+
+
+class HDFS(FileSystem):
+    """A simulated HDFS instance bound to one cluster.
+
+    Parameters
+    ----------
+    cluster:
+        Hardware to place datanodes on (one datanode per cluster node).
+    block_size:
+        Logical block size in bytes.
+    replication:
+        Default replica count for new files (clamped to the node count).
+    fabric:
+        Fabric name remote block fetches travel over (``"ipoib"`` matches
+        default Spark/Hadoop on Comet).
+    """
+
+    scheme = "hdfs"
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        *,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        replication: int = 3,
+        fabric: str = "ipoib",
+        client_rate: float = 0.5e9,
+    ) -> None:
+        if block_size < 1:
+            raise ConfigurationError("block_size must be >= 1")
+        if replication < 1:
+            raise ConfigurationError("replication must be >= 1")
+        self.cluster = cluster
+        self.block_size = block_size
+        self.replication = replication
+        self.fabric = fabric
+        #: bytes/s of the client+datanode software path (checksum verify,
+        #: DataXceiver copies) charged per byte read on top of the device —
+        #: the source of the "25% overhead in using HDFS compared to the
+        #: local filesystem" the paper measures in Table II.
+        self.client_rate = client_rate
+        self._files: dict[str, SimFile] = {}
+        self._blocks: dict[str, list[Block]] = {}
+        self._dead: set[int] = set()
+        cluster.filesystems[self.scheme] = self
+
+    # -- namespace ------------------------------------------------------------------
+
+    def lookup(self, path: str) -> SimFile:
+        return self._check_have(self._files, path)
+
+    def paths(self) -> Iterable[str]:
+        return list(self._files)
+
+    def blocks(self, path: str) -> list[Block]:
+        """Block list of a file (namenode metadata; host-side)."""
+        return self._check_have(self._blocks, path)
+
+    def block_locations(self, path: str) -> list[tuple[int, int, list[int]]]:
+        """``(start, end, alive_replica_nodes)`` per block — the locality
+        information schedulers consume."""
+        out = []
+        for b in self.blocks(path):
+            out.append((b.start, b.end, [r for r in b.replicas if r not in self._dead]))
+        return out
+
+    # -- host-side setup ----------------------------------------------------------------
+
+    def create(
+        self,
+        path: str,
+        content: ContentProvider,
+        *,
+        scale: int = 1,
+        replication: int | None = None,
+    ) -> SimFile:
+        """Install a file (untimed) with blocks placed by the default policy."""
+        self._check_new(self._files, path)
+        f = SimFile(path, content, scale)
+        self._files[path] = f
+        self._blocks[path] = self._place(f.logical_size, replication)
+        return f
+
+    def _place(self, logical_size: int, replication: int | None) -> list[Block]:
+        n = len(self.cluster.nodes)
+        repl = min(replication if replication is not None else self.replication, n)
+        blocks = []
+        offset = 0
+        index = 0
+        while offset < logical_size or (logical_size == 0 and index == 0):
+            end = min(offset + self.block_size, logical_size)
+            replicas = [(index + j) % n for j in range(repl)]
+            blocks.append(Block(index, offset, end, replicas))
+            index += 1
+            offset = end
+            if logical_size == 0:
+                break
+        return blocks
+
+    def delete(self, path: str) -> None:
+        self._check_have(self._files, path)
+        del self._files[path]
+        del self._blocks[path]
+
+    # -- failure injection -----------------------------------------------------------------
+
+    def kill_datanode(self, node_id: int) -> None:
+        """Mark a datanode dead; its replicas stop serving immediately."""
+        if not 0 <= node_id < len(self.cluster.nodes):
+            raise ConfigurationError(f"no such node: {node_id}")
+        self._dead.add(node_id)
+
+    def restart_datanode(self, node_id: int) -> None:
+        """Bring a datanode back (its replicas are assumed intact)."""
+        self._dead.discard(node_id)
+
+    @property
+    def dead_datanodes(self) -> frozenset[int]:
+        return frozenset(self._dead)
+
+    def repair(self, proc: SimProcess, path: str) -> int:
+        """Re-replicate under-replicated blocks (what the namenode does in
+        the background after a datanode death).  Timed: each new replica is
+        read from a survivor and streamed to a fresh node.  Returns the
+        number of replicas created; raises if a block has no live source.
+        """
+        n = len(self.cluster.nodes)
+        created = 0
+        for b in self.under_replicated(path):
+            alive = [r for r in b.replicas if r not in self._dead]
+            if not alive:
+                raise BlockUnavailableError(
+                    f"block {b.index} of {path!r} has no live replica to "
+                    "repair from")
+            want = min(self.replication, n - len(self._dead))
+            candidates = [i for i in range(n)
+                          if i not in self._dead and i not in alive]
+            while len(alive) < want and candidates:
+                src = alive[b.index % len(alive)]
+                dst = candidates.pop(0)
+                self.cluster.nodes[src].ssd.read(proc, b.size,
+                                                 label=f"repair:{path}")
+                self.cluster.network.transmit(
+                    proc, self.fabric, src, dst, b.size,
+                    label=f"repair:{path}#{b.index}")
+                self.cluster.nodes[dst].ssd.write(proc, b.size,
+                                                  label=f"repair:{path}")
+                b.replicas.append(dst)
+                alive.append(dst)
+                created += 1
+        return created
+
+    def under_replicated(self, path: str) -> list[Block]:
+        """Blocks whose alive replica count is below the target (fsck).
+
+        The target is the filesystem's replication factor, capped by the
+        number of live datanodes (you cannot place two replicas on one
+        node).
+        """
+        target = min(self.replication,
+                     len(self.cluster.nodes) - len(self._dead))
+        return [
+            b
+            for b in self.blocks(path)
+            if len([r for r in b.replicas if r not in self._dead]) < target
+        ]
+
+    # -- timed I/O -------------------------------------------------------------------------
+
+    def read(self, proc: SimProcess, path: str, offset: int, length: int) -> bytes:
+        """Read a logical range, block by block, preferring local replicas."""
+        f = self._check_have(self._files, path)
+        start, end = f.physical_range(offset, length)
+        lo = min(offset, f.logical_size)
+        hi = min(offset + length, f.logical_size)
+        node = self.cluster.node_of(proc)
+        for b in self._blocks[path]:
+            take = min(hi, b.end) - max(lo, b.start)
+            if take <= 0:
+                continue
+            proc.compute(NAMENODE_LOOKUP)
+            src = self._pick_replica(b, node.id)
+            self.cluster.nodes[src].ssd.read(proc, take, label=f"hdfs:{path}#{b.index}")
+            proc.compute_bytes(take, self.client_rate)
+            if src != node.id:
+                self.cluster.network.transmit(
+                    proc, self.fabric, src, node.id, take,
+                    label=f"hdfs:{path}#{b.index}",
+                )
+        return f.content.read(start, end - start)
+
+    def _pick_replica(self, block: Block, reader_node: int) -> int:
+        alive = [r for r in block.replicas if r not in self._dead]
+        if not alive:
+            raise BlockUnavailableError(
+                f"block {block.index} [{block.start}, {block.end}) has no live replica"
+            )
+        if reader_node in alive:
+            return reader_node
+        # Deterministic spread: hash-free rotation by block index.
+        return alive[block.index % len(alive)]
+
+    def write(self, proc: SimProcess, path: str, nbytes: int) -> None:
+        """Timed write with pipeline replication.
+
+        The writer streams each block to the first replica's disk while the
+        pipeline forwards to the remaining replicas; we charge the writer the
+        local write plus one network hop per remote replica (the pipeline's
+        serialisation point).
+        """
+        node = self.cluster.node_of(proc)
+        if path not in self._files:
+            self._files[path] = SimFile(path, BytesContent(b""), 1)
+            self._blocks[path] = []
+        blocks = self._blocks[path]
+        n = len(self.cluster.nodes)
+        repl = min(self.replication, n)
+        written = 0
+        base = blocks[-1].end if blocks else 0
+        while written < nbytes:
+            take = min(self.block_size, nbytes - written)
+            index = len(blocks)
+            replicas = [node.id] + [
+                r for r in ((node.id + 1 + j) % n for j in range(n - 1))
+            ][: repl - 1]
+            replicas = [r for r in replicas if r not in self._dead]
+            if not replicas:
+                raise HDFSError("no live datanodes to write to")
+            for j, r in enumerate(replicas):
+                if r == node.id:
+                    self.cluster.nodes[r].ssd.write(proc, take, label=f"hdfs:{path}")
+                else:
+                    self.cluster.network.transmit(
+                        proc, self.fabric, node.id, r, take, label=f"hdfs:{path}"
+                    )
+            blocks.append(Block(index, base + written, base + written + take, replicas))
+            written += take

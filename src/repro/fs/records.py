@@ -1,0 +1,91 @@
+"""Record-oriented split reading (the ``TextInputFormat`` convention).
+
+Parallel text processing assigns each reader a byte range of the file.
+Records (newline-delimited lines) rarely align with range boundaries, so
+every real system uses the same convention, which we reproduce exactly:
+
+* a record belongs to the reader whose range contains its **first byte**;
+* a reader whose range starts mid-record skips forward to the first record
+  boundary;
+* a reader whose last record crosses its range end reads past the end to
+  finish it.
+
+Together these rules make the union of all readers' records exactly the
+file, with no duplicates — a property the tests check for arbitrary split
+points (hypothesis).
+"""
+
+from __future__ import annotations
+
+from repro.fs.base import FileSystem
+from repro.sim.process import SimProcess
+from repro.units import KiB
+
+#: Bytes fetched per probe when finishing a record that crosses the split end.
+LOOKAHEAD = 64 * KiB
+
+
+def read_split_records(
+    fs: FileSystem,
+    proc: SimProcess,
+    path: str,
+    start: int,
+    end: int,
+    *,
+    lookahead: int = LOOKAHEAD,
+) -> list[bytes]:
+    """Timed read of the records owned by logical split ``[start, end)``.
+
+    Returns the records as byte strings (no trailing newlines).  I/O time is
+    charged for the split plus any boundary lookahead, exactly as a real
+    reader would incur it.
+    """
+    f = fs.lookup(path)
+    lsize = f.logical_size
+    start = max(0, min(start, lsize))
+    end = max(start, min(end, lsize))
+    if start == end:
+        return []
+    buf = fs.read(proc, path, start, end - start)
+    pstart, pend = f.physical_range(start, end - start)
+    psize = f.physical_size
+
+    # Finish a record that crosses the end of the split.
+    probe_l = end
+    probe_p = pend
+    while probe_p < psize and not buf.endswith(b"\n"):
+        step = min(lookahead, lsize - probe_l)
+        if step <= 0:
+            break
+        more = fs.read(proc, path, probe_l, step)
+        probe_l += step
+        probe_p += len(more)
+        nl = more.find(b"\n")
+        if nl >= 0:
+            buf += more[: nl + 1]
+            break
+        buf += more
+
+    # Drop the partial leading record (it belongs to the previous split) —
+    # unless the split happens to start exactly on a record boundary, which
+    # we detect from the physical byte just before the split.
+    if pstart > 0:
+        prev = f.content.read(pstart - 1, 1)
+        if prev != b"\n":
+            nl = buf.find(b"\n")
+            buf = buf[nl + 1 :] if nl >= 0 else b""
+
+    lines = buf.split(b"\n")
+    if lines and lines[-1] == b"":
+        lines.pop()
+    return lines
+
+
+def iter_all_records(fs: FileSystem, path: str) -> list[bytes]:
+    """Untimed host-side record list of the whole file (references/tests)."""
+    f = fs.lookup(path)
+    data = f.content.read_all()
+    lines = data.split(b"\n")
+    if lines and lines[-1] == b"":
+        lines.pop()
+    return lines

@@ -1,0 +1,290 @@
+"""The MapReduce job engine: splits, task waves, shuffle, retries.
+
+Execution model (Hadoop 2.x, as the paper ran it):
+
+* the **driver** (client + YARN AM rolled together) pays the job-submission
+  cost, computes input splits, then schedules task *attempts* into per-node
+  slots, preferring nodes that hold a replica of the split (locality);
+* each attempt is its own simulated process paying the **JVM start** cost —
+  a dominant term for short tasks and a big part of why Hadoop sits above
+  Spark in Fig 4;
+* map output is combined (optionally), hash-partitioned, sorted and
+  **spilled to the local SSD**;
+* reduce tasks start once every map finished (we do not model slow-start),
+  fetch one bucket per map over the cluster's Hadoop fabric, merge-sort,
+  reduce, and either return results to the driver or write them to the
+  output filesystem (with replication if it is HDFS);
+* a failed attempt is retried on another node, up to ``max_attempts``
+  (then :class:`~repro.errors.TaskFailedError` aborts the job).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.cluster.cluster import Cluster
+from repro.costs import DEFAULT_COSTS, SoftwareCosts
+from repro.errors import MapReduceError, TaskFailedError
+from repro.fs.hdfs import HDFS
+from repro.fs.records import read_split_records
+from repro.mapreduce.types import FaultInjector, JobConf, JobCounters, JobResult
+from repro.sim.engine import current_process
+from repro.sim.sync import Mailbox
+from repro.spark.partitioner import stable_hash
+from repro.spark.shuffle import estimate_nbytes
+
+
+class _InjectedFault(MapReduceError):
+    """Raised inside a task attempt by the fault injector."""
+
+
+class _JobState:
+    """Shared state of one running job."""
+
+    def __init__(self, cluster: Cluster, conf: JobConf, costs: SoftwareCosts,
+                 fabric: str, fault_injector: FaultInjector | None) -> None:
+        self.cluster = cluster
+        self.conf = conf
+        self.costs = costs
+        self.fabric = fabric
+        self.fault_injector = fault_injector
+        self.counters = JobCounters()
+        self.driver_box = Mailbox("mr:driver")
+        scheme, _, path = conf.input_url.partition("://")
+        self.fs = cluster.filesystems.get(scheme)
+        if self.fs is None:
+            raise MapReduceError(f"no filesystem for scheme {scheme!r}")
+        self.path = path
+        #: (map_id, reduce_id) -> records; map outputs live on map_node
+        self.map_outputs: dict[tuple[int, int], list] = {}
+        self.map_output_sizes: dict[tuple[int, int], int] = {}
+        self.map_node: dict[int, int] = {}
+
+    def splits(self) -> tuple[list[tuple[int, int]], list[list[int]]]:
+        """Input splits + preferred nodes (HDFS block locality)."""
+        size = self.fs.size(self.path)
+        if self.conf.split_size is None and isinstance(self.fs, HDFS):
+            locs = self.fs.block_locations(self.path)
+            return [(s, e) for s, e, _n in locs], [n for _s, _e, n in locs]
+        chunk = self.conf.split_size or 128 * 10**6
+        splits = [(o, min(size, o + chunk)) for o in range(0, max(size, 1), chunk)]
+        return splits, [[] for _ in splits]
+
+
+def run_job(
+    cluster: Cluster,
+    conf: JobConf,
+    *,
+    map_slots_per_node: int = 8,
+    reduce_slots_per_node: int = 8,
+    fabric: str = "ipoib",
+    costs: SoftwareCosts = DEFAULT_COSTS,
+    fault_injector: FaultInjector | None = None,
+) -> JobResult:
+    """Run one MapReduce job to completion on the cluster's engine."""
+    if conf.num_reduces < 1:
+        raise MapReduceError("num_reduces must be >= 1")
+    state = _JobState(cluster, conf, costs, fabric, fault_injector)
+    driver = cluster.spawn(_driver_main, state, map_slots_per_node,
+                           reduce_slots_per_node, node_id=0, name="mr:driver")
+    elapsed = cluster.run()
+    output, job_time = driver.result
+    return JobResult(output=output, elapsed=job_time, counters=state.counters)
+
+
+# ---------------------------------------------------------------------------
+# driver
+# ---------------------------------------------------------------------------
+
+
+def _driver_main(state: _JobState, map_slots: int, reduce_slots: int) -> Any:
+    proc = current_process()
+    t0 = proc.clock
+    proc.compute(state.costs.hadoop_job_submit)
+    splits, preferred = state.splits()
+
+    map_tasks = list(range(len(splits)))
+    _run_wave(state, "map", map_tasks,
+              lambda tid: preferred[tid], map_slots,
+              lambda tid, node: (_map_attempt, state, tid, splits[tid]))
+
+    reduce_tasks = list(range(state.conf.num_reduces))
+    results = _run_wave(state, "reduce", reduce_tasks,
+                        lambda tid: [], reduce_slots,
+                        lambda tid, node: (_reduce_attempt, state, tid,
+                                           len(splits)))
+    output: list = []
+    for tid in sorted(results):
+        output.extend(results[tid])
+    return output, proc.clock - t0
+
+
+def _run_wave(state: _JobState, kind: str, task_ids: list[int], preferred,
+              slots_per_node: int, make_task) -> dict[int, Any]:
+    """Schedule one phase's tasks into node slots; handle retries."""
+    proc = current_process()
+    cluster = state.cluster
+    free: dict[int, int] = {n.id: slots_per_node for n in cluster.nodes}
+    queue = deque(task_ids)
+    attempts: dict[int, int] = {t: 0 for t in task_ids}
+    in_flight: dict[int, int] = {}
+    results: dict[int, Any] = {}
+
+    def pick_node(tid: int) -> int | None:
+        pref = [n for n in preferred(tid) if free.get(n, 0) > 0]
+        if pref:
+            return pref[0]
+        avail = [n for n, k in free.items() if k > 0]
+        if not avail:
+            return None
+        # spread over nodes deterministically
+        return avail[tid % len(avail)]
+
+    while queue or in_flight:
+        proc.compute(state.costs.hadoop_schedule_wave / max(1, len(task_ids)))
+        launched = False
+        for _ in range(len(queue)):
+            tid = queue.popleft()
+            node = pick_node(tid)
+            if node is None:
+                queue.append(tid)
+                break
+            free[node] -= 1
+            attempts[tid] += 1
+            fn, *args = make_task(tid, node)
+            cluster.spawn(fn, *args, attempts[tid], node_id=node,
+                          name=f"mr:{kind}{tid}.{attempts[tid]}")
+            in_flight[tid] = node
+            launched = True
+        if not in_flight:
+            if not launched and queue:
+                raise MapReduceError("no slots available at all")
+            continue
+        msg = state.driver_box.recv(
+            proc, match=lambda m: m.meta["kind"] == kind,
+            reason=f"mr:wait-{kind}")
+        tid = msg.meta["task"]
+        node = in_flight.pop(tid)
+        free[node] += 1
+        if msg.meta["status"] == "ok":
+            results[tid] = msg.payload
+        else:
+            state.counters.task_retries += 1
+            if attempts[tid] >= state.conf.max_attempts:
+                raise TaskFailedError(
+                    f"{kind} task {tid} failed {attempts[tid]} times: "
+                    f"{msg.payload}"
+                )
+            queue.append(tid)
+    if kind == "map":
+        state.counters.map_tasks = len(task_ids)
+    else:
+        state.counters.reduce_tasks = len(task_ids)
+    return results
+
+
+# ---------------------------------------------------------------------------
+# task attempts (each runs on its own simulated process)
+# ---------------------------------------------------------------------------
+
+
+def _report(state: _JobState, kind: str, tid: int, status: str, payload: Any) -> None:
+    proc = current_process()
+    nbytes = 64 + (estimate_nbytes(payload) if isinstance(payload, list) else 0)
+    arrival = state.cluster.network.msg_arrival(
+        proc, state.fabric, state.cluster.node_of(proc).id, 0, nbytes)
+    state.driver_box.post(proc, payload, arrival=arrival, kind=kind,
+                          task=tid, status=status)
+
+
+def _maybe_fail(state: _JobState, kind: str, tid: int, attempt: int) -> None:
+    if state.fault_injector is not None and state.fault_injector(kind, tid, attempt):
+        raise _InjectedFault(f"{kind} task {tid} attempt {attempt} killed")
+
+
+def _map_attempt(state: _JobState, tid: int, split: tuple[int, int],
+                 attempt: int) -> None:
+    proc = current_process()
+    conf, costs = state.conf, state.costs
+    try:
+        proc.compute(costs.hadoop_task_jvm)
+        _maybe_fail(state, "map", tid, attempt)
+        records = read_split_records(state.fs, proc, state.path,
+                                     split[0], split[1])
+        proc.compute_bytes(max(1, split[1] - split[0]), costs.parse_rate_jvm)
+        out: list[tuple[Any, Any]] = []
+        for raw in records:
+            out.extend(conf.mapper(raw.decode("utf-8", errors="replace")))
+        proc.compute(len(records) * (conf.map_cost_per_record + 1e-7))
+        state.counters.map_input_records += len(records)
+        state.counters.map_output_records += len(out)
+        if conf.combiner is not None:
+            grouped: dict[Any, list] = {}
+            for k, v in out:
+                grouped.setdefault(k, []).append(v)
+            out = [kv for k, vs in grouped.items()
+                   for kv in conf.combiner(k, vs)]
+            state.counters.combine_output_records += len(out)
+        buckets: dict[int, list] = {}
+        for k, v in out:
+            buckets.setdefault(stable_hash(k) % conf.num_reduces, []).append((k, v))
+        total = 0
+        node = state.cluster.node_of(proc)
+        for rid in range(conf.num_reduces):
+            bucket = buckets.get(rid, [])
+            nbytes = estimate_nbytes(bucket)
+            state.map_outputs[(tid, rid)] = bucket
+            state.map_output_sizes[(tid, rid)] = nbytes
+            total += nbytes
+        # sort + spill to local disk (the defining Hadoop cost)
+        proc.compute_bytes(max(1, total), costs.hadoop_sort_rate)
+        node.ssd.write(proc, max(1, total), label=f"mr:spill{tid}")
+        state.counters.spilled_bytes += total
+        state.map_node[tid] = node.id
+        _report(state, "map", tid, "ok", None)
+    except _InjectedFault as exc:
+        _report(state, "map", tid, "failed", str(exc))
+
+
+def _reduce_attempt(state: _JobState, tid: int, n_maps: int, attempt: int) -> None:
+    proc = current_process()
+    conf, costs = state.conf, state.costs
+    try:
+        proc.compute(costs.hadoop_task_jvm)
+        _maybe_fail(state, "reduce", tid, attempt)
+        my_node = state.cluster.node_of(proc)
+        merged: list = []
+        total = 0
+        for mid in range(n_maps):
+            proc.compute(costs.hadoop_fetch_overhead)
+            nbytes = max(1, state.map_output_sizes[(mid, tid)])
+            src = state.map_node[mid]
+            state.cluster.nodes[src].ssd.read(proc, nbytes, label="mr:serve")
+            if src != my_node.id:
+                state.cluster.network.transmit(
+                    proc, state.fabric, src, my_node.id, nbytes,
+                    label=f"mr:fetch{mid}->{tid}")
+                state.counters.shuffled_bytes_remote += nbytes
+            else:
+                state.counters.shuffled_bytes_local += nbytes
+            merged.extend(state.map_outputs[(mid, tid)])
+            total += nbytes
+        # reduce-side merge sort
+        proc.compute_bytes(max(1, total), costs.hadoop_sort_rate)
+        grouped: dict[Any, list] = {}
+        for k, v in merged:
+            grouped.setdefault(k, []).append(v)
+        out: list[tuple[Any, Any]] = []
+        for k in sorted(grouped, key=lambda k: stable_hash(k)):
+            out.extend(conf.reducer(k, grouped[k]))
+        proc.compute(len(merged) * (conf.reduce_cost_per_record + 1e-7))
+        state.counters.reduce_output_records += len(out)
+        if conf.output_url is not None:
+            scheme, _, path = conf.output_url.partition("://")
+            ofs = state.cluster.filesystems[scheme]
+            ofs.write(proc, f"{path}/part-r-{tid:05d}",
+                      max(1, estimate_nbytes(out)))
+        _report(state, "reduce", tid, "ok", out)
+    except _InjectedFault as exc:
+        _report(state, "reduce", tid, "failed", str(exc))

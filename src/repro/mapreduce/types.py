@@ -1,0 +1,66 @@
+"""Job configuration and result types for the MapReduce engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+#: ``mapper(record) -> iterable of (key, value)``; records are text lines.
+Mapper = Callable[[str], Iterable[tuple[Any, Any]]]
+#: ``reducer(key, values) -> iterable of (key, value)``.
+Reducer = Callable[[Any, list], Iterable[tuple[Any, Any]]]
+#: ``combiner(key, values) -> iterable of (key, value)`` — map-side mini-reduce.
+Combiner = Callable[[Any, list], Iterable[tuple[Any, Any]]]
+#: ``fault_injector(kind, task_id, attempt) -> True`` to make the attempt fail.
+FaultInjector = Callable[[str, int, int], bool]
+
+
+@dataclass
+class JobConf:
+    """Everything that defines one MapReduce job.
+
+    ``map_cost_per_record`` charges modelled CPU beyond the default JVM
+    per-record overhead (e.g. for regex-heavy mappers), mirroring the
+    ``cost=`` keyword of the Spark transformations.
+    """
+
+    name: str
+    input_url: str
+    mapper: Mapper
+    reducer: Reducer
+    num_reduces: int = 1
+    combiner: Combiner | None = None
+    output_url: str | None = None
+    #: input split size override; defaults to HDFS block boundaries (or an
+    #: even split for non-HDFS inputs)
+    split_size: int | None = None
+    map_cost_per_record: float = 0.0
+    reduce_cost_per_record: float = 0.0
+    max_attempts: int = 4
+
+
+@dataclass
+class JobCounters:
+    """Framework counters, Hadoop-style (the tests' main observability)."""
+
+    map_tasks: int = 0
+    reduce_tasks: int = 0
+    task_retries: int = 0
+    map_input_records: int = 0
+    map_output_records: int = 0
+    combine_output_records: int = 0
+    reduce_output_records: int = 0
+    spilled_bytes: int = 0
+    shuffled_bytes_remote: int = 0
+    shuffled_bytes_local: int = 0
+
+
+@dataclass
+class JobResult:
+    """Outcome of one job."""
+
+    #: all reducer output pairs (also written to ``output_url`` if set)
+    output: list[tuple[Any, Any]]
+    #: virtual job duration, submission to completion
+    elapsed: float
+    counters: JobCounters = field(default_factory=JobCounters)

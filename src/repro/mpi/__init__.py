@@ -1,0 +1,39 @@
+"""MPI-like runtime over the simulated cluster.
+
+The API follows mpi4py's shape (lower-case methods, Python objects in/out)
+while the *mechanisms* follow the MPI implementations the paper used:
+eager/rendezvous point-to-point protocols, binomial-tree and
+recursive-doubling collectives built **on top of** point-to-point messages
+(so their cost scales as on a real machine), collective MPI-IO with the
+32-bit count limitation of ``MPI_File_read_at_all`` (Section V-C of the
+paper), and one-sided RMA windows.
+
+Entry point::
+
+    from repro.mpi import mpi_run
+
+    def main(comm):
+        total = comm.allreduce(comm.rank)
+        return total
+
+    result = mpi_run(cluster, main, nprocs=16, procs_per_node=8)
+"""
+
+from repro.mpi.comm import Communicator
+from repro.mpi.datatypes import MAX, MIN, PROD, SUM, nbytes_of
+from repro.mpi.io import MPIFile
+from repro.mpi.rma import Window
+from repro.mpi.runtime import MPIResult, mpi_run
+
+__all__ = [
+    "mpi_run",
+    "MPIResult",
+    "Communicator",
+    "MPIFile",
+    "Window",
+    "SUM",
+    "PROD",
+    "MIN",
+    "MAX",
+    "nbytes_of",
+]

@@ -1,0 +1,86 @@
+"""Payload sizing and reduction operators.
+
+The simulator charges communication time by payload size; since the API
+carries Python objects (mpi4py-style), :func:`nbytes_of` estimates the wire
+size of common payload types.  NumPy arrays — the recommended payload for
+performance-sensible code, as in mpi4py — are exact.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Callable
+
+import numpy as np
+
+#: wire overhead per Python container element (boxing, headers)
+_ELEM_OVERHEAD = 8
+
+
+def nbytes_of(obj: Any) -> int:
+    """Estimated serialised size of a payload, in bytes.
+
+    Exact for ``numpy`` arrays/scalars, ``bytes`` and ``str``; a recursive
+    estimate for lists/tuples/dicts; ``sys.getsizeof`` as a last resort.
+    """
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, np.generic):
+        return int(obj.nbytes)
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(obj)
+    if isinstance(obj, str):
+        return len(obj.encode())
+    if isinstance(obj, bool) or obj is None:
+        return 1
+    if isinstance(obj, (int, float, complex)):
+        return 8
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return _ELEM_OVERHEAD + sum(nbytes_of(x) + _ELEM_OVERHEAD for x in obj)
+    if isinstance(obj, dict):
+        return _ELEM_OVERHEAD + sum(
+            nbytes_of(k) + nbytes_of(v) + _ELEM_OVERHEAD for k, v in obj.items()
+        )
+    return int(sys.getsizeof(obj))
+
+
+def copy_payload(obj: Any) -> Any:
+    """Defensive copy applied on delivery, mirroring MPI's copy semantics.
+
+    Mutable buffers (ndarrays, bytearrays) are copied so sender-side reuse
+    cannot corrupt received data; immutable payloads pass through.
+    """
+    if isinstance(obj, np.ndarray):
+        return obj.copy()
+    if isinstance(obj, bytearray):
+        return bytearray(obj)
+    return obj
+
+
+# -- reduction operators ------------------------------------------------------
+
+def SUM(a: Any, b: Any) -> Any:
+    """Elementwise/scalar sum (``MPI_SUM``)."""
+    return a + b
+
+
+def PROD(a: Any, b: Any) -> Any:
+    """Elementwise/scalar product (``MPI_PROD``)."""
+    return a * b
+
+
+def MIN(a: Any, b: Any) -> Any:
+    """Elementwise/scalar minimum (``MPI_MIN``)."""
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.minimum(a, b)
+    return min(a, b)
+
+
+def MAX(a: Any, b: Any) -> Any:
+    """Elementwise/scalar maximum (``MPI_MAX``)."""
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.maximum(a, b)
+    return max(a, b)
+
+
+ReduceOp = Callable[[Any, Any], Any]

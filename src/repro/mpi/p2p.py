@@ -1,0 +1,225 @@
+"""Point-to-point messaging: eager/rendezvous protocols, requests.
+
+Small messages (≤ ``costs.mpi_eager_threshold``) use the **eager** protocol:
+the sender deposits the payload and continues; the receive completes at the
+modelled arrival time.  Large messages use **rendezvous**: the sender posts a
+request-to-send and blocks until the receiver matches it, then streams the
+payload through the contended network path.  This reproduces real MPI
+semantics, including the classic deadlock of two processes issuing large
+blocking sends at each other — which surfaces here as a
+:class:`~repro.errors.DeadlockError` naming both ranks.
+
+All functions take the communicator plus an **explicit calling rank** (local
+to that communicator), so helper processes that implement non-blocking
+requests can drive the protocol on a rank's behalf.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.mpi.datatypes import copy_payload, nbytes_of
+from repro.sim.engine import current_process
+from repro.sim.sync import Future, Message
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mpi.comm import Communicator
+
+#: estimated wire size of a rendezvous control message
+_RTS_BYTES = 64
+
+
+def _node(comm: "Communicator", rank: int) -> int:
+    return comm.env.node_of_rank(comm.world_rank(rank))
+
+
+def send(
+    comm: "Communicator",
+    src: int,
+    dest: int,
+    obj: Any,
+    tag: int,
+    *,
+    nbytes: int | None = None,
+) -> None:
+    """Blocking send from rank ``src`` (the calling process)."""
+    env = comm.env
+    proc = current_process()
+    size = nbytes_of(obj) if nbytes is None else nbytes
+    proc.compute(env.costs.mpi_per_call)
+    src_node = _node(comm, src)
+    dst_node = _node(comm, dest)
+    box = env.mailbox(comm.ctx, dest)
+    if size <= env.costs.mpi_eager_threshold:
+        arrival = env.cluster.network.msg_arrival(
+            proc, env.fabric, src_node, dst_node, size
+        )
+        box.post(
+            proc, copy_payload(obj), arrival=arrival,
+            src=src, tag=tag, kind="eager", nbytes=size,
+        )
+        return
+    # rendezvous: RTS -> wait CTS -> bulk transfer -> DATA
+    cts = Future(f"cts:{src}->{dest}")
+    msg_id = env.new_msg_id()
+    arrival = env.cluster.network.msg_arrival(
+        proc, env.fabric, src_node, dst_node, _RTS_BYTES
+    )
+    box.post(
+        proc, cts, arrival=arrival,
+        src=src, tag=tag, kind="rts", msg_id=msg_id, nbytes=size,
+    )
+    cts.wait(proc)
+    done = env.cluster.network.transmit(
+        proc, env.fabric, src_node, dst_node, size,
+        label=f"mpi:{src}->{dest}",
+    )
+    box.post(proc, copy_payload(obj), arrival=done, kind="data", msg_id=msg_id)
+
+
+def recv(
+    comm: "Communicator",
+    me: int,
+    source: int | None,
+    tag: int | None,
+) -> tuple[Any, int, int]:
+    """Blocking receive at rank ``me``.
+
+    ``source``/``tag`` of ``None`` mean ``MPI_ANY_SOURCE``/``MPI_ANY_TAG``.
+    Returns ``(payload, actual_source, actual_tag)``.
+    """
+    env = comm.env
+    proc = current_process()
+    box = env.mailbox(comm.ctx, me)
+
+    def match(m: Message) -> bool:
+        if m.meta.get("kind") not in ("eager", "rts"):
+            return False
+        if source is not None and m.meta["src"] != source:
+            return False
+        if tag is None:
+            # ANY_TAG matches user tags only, never collective internals
+            return m.meta["tag"] >= 0
+        return m.meta["tag"] == tag
+
+    msg = box.recv(proc, match, reason=f"mpi.recv(rank={me},src={source},tag={tag})")
+    fab = env.cluster.spec.fabric(env.fabric)
+    proc.compute(env.costs.mpi_per_call + fab.sw_overhead(msg.meta["nbytes"]))
+    if msg.meta["kind"] == "eager":
+        return msg.payload, msg.meta["src"], msg.meta["tag"]
+    # rendezvous: grant clear-to-send, then take the data message
+    msg.payload.set(proc)
+    msg_id = msg.meta["msg_id"]
+    data = box.recv(
+        proc,
+        lambda m: m.meta.get("kind") == "data" and m.meta.get("msg_id") == msg_id,
+        reason=f"mpi.recv-data(rank={me})",
+    )
+    return data.payload, msg.meta["src"], msg.meta["tag"]
+
+
+class Request:
+    """Handle for a non-blocking operation (``MPI_Request``)."""
+
+    def __init__(self, future: Future | None, value: Any = None) -> None:
+        self._future = future
+        self._value = value
+
+    def wait(self) -> Any:
+        """Block until complete; returns the received payload (irecv) or None."""
+        if self._future is None:
+            return self._value
+        return self._future.wait(current_process())
+
+    def test(self) -> bool:
+        """True if the operation already completed (non-blocking probe)."""
+        if self._future is None:
+            return True
+        current_process().checkpoint()
+        return self._future.done
+
+
+def isend(comm: "Communicator", src: int, dest: int, obj: Any, tag: int) -> Request:
+    """Non-blocking send: eager completes locally; rendezvous runs on a
+    helper process (modelling the progress engine / NIC DMA)."""
+    env = comm.env
+    size = nbytes_of(obj)
+    if size <= env.costs.mpi_eager_threshold:
+        send(comm, src, dest, obj, tag, nbytes=size)
+        return Request(None)
+    proc = current_process()
+    fut = Future(f"isend:{src}->{dest}")
+
+    def dma() -> None:
+        send(comm, src, dest, obj, tag, nbytes=size)
+        fut.set(current_process())
+
+    env.cluster.spawn(dma, node_id=_node(comm, src), name=f"mpi:isend{src}->{dest}")
+    proc.compute(env.costs.mpi_per_call)
+    return Request(fut)
+
+
+def irecv(comm: "Communicator", me: int, source: int | None, tag: int | None) -> Request:
+    """Non-blocking receive via a helper process; ``wait()`` yields the payload."""
+    env = comm.env
+    proc = current_process()
+    fut = Future(f"irecv:rank{me}")
+
+    def progress() -> None:
+        payload, _src, _tag = recv(comm, me, source, tag)
+        fut.set(current_process(), payload)
+
+    env.cluster.spawn(progress, node_id=_node(comm, me), name=f"mpi:irecv@{me}")
+    proc.compute(env.costs.mpi_per_call)
+    return Request(fut)
+
+
+def sendrecv(
+    comm: "Communicator",
+    me: int,
+    dest: int,
+    send_obj: Any,
+    source: int | None,
+    tag: int,
+) -> Any:
+    """Combined send+receive (deadlock-free pairwise exchange).
+
+    Implemented with receiver-driven transfer accounting: the outgoing
+    payload is announced with a small descriptor, and whichever side
+    receives charges the bulk network path as it pulls the data in.  This
+    is timing-equivalent to the rendezvous protocol for the symmetric
+    exchanges collectives perform, without needing a progress helper
+    process per large message.
+    """
+    env = comm.env
+    proc = current_process()
+    size = nbytes_of(send_obj)
+    proc.compute(env.costs.mpi_per_call)
+    src_node = _node(comm, me)
+    dst_node = _node(comm, dest)
+    box = env.mailbox(comm.ctx, dest)
+    arrival = env.cluster.network.msg_arrival(
+        proc, env.fabric, src_node, dst_node, _RTS_BYTES
+    )
+    box.post(
+        proc, copy_payload(send_obj), arrival=arrival,
+        src=me, tag=tag, kind="xdesc", nbytes=size,
+    )
+    my_box = env.mailbox(comm.ctx, me)
+
+    def match(m: Message) -> bool:
+        return (
+            m.meta.get("kind") == "xdesc"
+            and (source is None or m.meta["src"] == source)
+            and m.meta["tag"] == tag
+        )
+
+    msg = my_box.recv(proc, match, reason=f"mpi.sendrecv(rank={me})")
+    fab = env.cluster.spec.fabric(env.fabric)
+    proc.compute(env.costs.mpi_per_call + fab.sw_overhead(msg.meta["nbytes"]))
+    if msg.meta["nbytes"] > env.costs.mpi_eager_threshold:
+        env.cluster.network.transmit(
+            proc, env.fabric, _node(comm, msg.meta["src"]), src_node,
+            msg.meta["nbytes"], label=f"mpi:xchg{msg.meta['src']}->{me}",
+        )
+    return msg.payload

@@ -1,0 +1,25 @@
+"""OpenMP-like shared-memory runtime (single node, fork-join).
+
+Mirrors the directive semantics in a Pythonic shape: a parallel region is a
+function executed by a team of threads on **one node** (OpenMP "cannot
+target multiple system nodes", Section II-A), with worksharing loops
+(static/dynamic/guided schedules), reductions, ``critical``/``single``/
+``master`` constructs, barriers, and the OpenMP-3 task model.
+
+Entry point::
+
+    from repro.openmp import omp_run
+
+    def region(omp):
+        total = 0.0
+        for i in omp.for_range(1000, schedule="dynamic", chunk=16):
+            total += work(i)
+        return omp.reduce(total)
+
+    result = omp_run(cluster, region, num_threads=8)
+"""
+
+from repro.openmp.loops import Schedule, split_static
+from repro.openmp.runtime import OMP, OMPResult, omp_run
+
+__all__ = ["omp_run", "OMP", "OMPResult", "Schedule", "split_static"]

@@ -1,0 +1,78 @@
+"""Worksharing-loop schedules (``schedule(static|dynamic|guided)``).
+
+The *dynamic* and *guided* schedules pull chunks from a shared counter in
+virtual-time order; because the engine always resumes the thread with the
+smallest clock, the greedy "next free thread takes the next chunk"
+behaviour of a real OpenMP runtime emerges exactly.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterator
+
+from repro.errors import OpenMPError
+
+
+class Schedule(enum.Enum):
+    """Loop schedule kinds."""
+
+    STATIC = "static"
+    DYNAMIC = "dynamic"
+    GUIDED = "guided"
+
+
+def split_static(n: int, nthreads: int, tid: int, chunk: int | None) -> list[range]:
+    """Iteration ranges thread ``tid`` owns under ``schedule(static[,chunk])``.
+
+    Without a chunk size the iteration space is divided into ``nthreads``
+    near-equal contiguous blocks; with one, chunks are dealt round-robin.
+    """
+    if chunk is None:
+        base = n // nthreads
+        extra = n % nthreads
+        start = tid * base + min(tid, extra)
+        size = base + (1 if tid < extra else 0)
+        return [range(start, start + size)]
+    if chunk < 1:
+        raise OpenMPError(f"chunk must be >= 1, got {chunk}")
+    out = []
+    for s in range(tid * chunk, n, nthreads * chunk):
+        out.append(range(s, min(s + chunk, n)))
+    return out
+
+
+class ChunkDispenser:
+    """Shared chunk counter for dynamic/guided schedules (one per loop)."""
+
+    def __init__(self, n: int, nthreads: int, schedule: Schedule, chunk: int | None) -> None:
+        self.n = n
+        self.nthreads = nthreads
+        self.schedule = schedule
+        self.chunk = chunk if chunk is not None else 1
+        if self.chunk < 1:
+            raise OpenMPError(f"chunk must be >= 1, got {chunk}")
+        self._next = 0
+
+    def grab(self) -> range | None:
+        """Take the next chunk, or None when the loop is exhausted."""
+        if self._next >= self.n:
+            return None
+        if self.schedule is Schedule.GUIDED:
+            remaining = self.n - self._next
+            size = max(self.chunk, remaining // (2 * self.nthreads) or 1)
+        else:
+            size = self.chunk
+        start = self._next
+        self._next = min(self.n, start + size)
+        return range(start, self._next)
+
+
+def iterate(dispenser: ChunkDispenser, charge_grab) -> Iterator[int]:
+    """Yield iterations from a shared dispenser, charging per grab."""
+    while True:
+        charge_grab()
+        chunk = dispenser.grab()
+        if chunk is None:
+            return
+        yield from chunk

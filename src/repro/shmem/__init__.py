@@ -1,0 +1,28 @@
+"""OpenSHMEM-like PGAS runtime (Section II-C of the paper).
+
+SPMD processing elements (PEs) with a **symmetric heap**: collective
+allocations yield one buffer per PE at the same "address" (here: handle), so
+any PE can ``put``/``get`` any other PE's copy by handle — one-sided, over
+the RDMA fabric, with no receiver participation.  Includes the classic
+OpenSHMEM toolkit: ``barrier_all``, broadcast/collect/reduce collectives,
+atomics, distributed locks and ``wait_until`` point-to-point
+synchronisation.
+
+Entry point::
+
+    from repro.shmem import shmem_run
+
+    def main(pe):
+        src = pe.alloc(4, init=float(pe.my_pe))
+        pe.barrier_all()
+        data = pe.get(src, (pe.my_pe + 1) % pe.n_pes)
+        pe.barrier_all()
+        return data.tolist()
+
+    result = shmem_run(cluster, main, npes=8)
+"""
+
+from repro.shmem.heap import SymmetricArray
+from repro.shmem.runtime import PE, ShmemResult, shmem_run
+
+__all__ = ["shmem_run", "PE", "ShmemResult", "SymmetricArray"]

@@ -1,0 +1,88 @@
+"""The symmetric heap: collectively allocated, remotely addressable arrays."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ShmemError
+from repro.sim.process import SimProcess
+
+
+class SymmetricArray:
+    """Handle to a symmetric allocation: one NumPy buffer per PE.
+
+    Obtained from :meth:`repro.shmem.runtime.PE.alloc` (a collective call,
+    like ``shmem_malloc``).  The handle is the PGAS "address": passing it to
+    put/get plus a PE number names that PE's copy.
+    """
+
+    def __init__(self, handle: int, npes: int, size: int, dtype: np.dtype) -> None:
+        self.handle = handle
+        self.size = size
+        self.dtype = dtype
+        self._copies: list[np.ndarray | None] = [None] * npes
+        #: per-PE waiters for wait_until: (proc, predicate)
+        self._waiters: list[list[tuple[SimProcess, Callable[[np.ndarray], bool]]]] = [
+            [] for _ in range(npes)
+        ]
+
+    def register(self, pe: int, buf: np.ndarray) -> None:
+        if self._copies[pe] is not None:
+            raise ShmemError(f"PE {pe} registered twice for handle {self.handle}")
+        self._copies[pe] = buf
+
+    def local(self, pe: int) -> np.ndarray:
+        """The actual buffer of ``pe`` (shared memory, not a copy)."""
+        buf = self._copies[pe]
+        if buf is None:
+            raise ShmemError(
+                f"symmetric allocation {self.handle} not registered on PE {pe} "
+                "(did every PE call alloc collectively?)"
+            )
+        return buf
+
+    def notify(self, pe: int, at_time: float) -> None:
+        """Re-check wait_until predicates on ``pe`` after a remote update."""
+        still = []
+        for proc, pred in self._waiters[pe]:
+            if pred(self.local(pe)):
+                proc._wake(at_time)
+            else:
+                still.append((proc, pred))
+        self._waiters[pe] = still
+
+    def add_waiter(self, pe: int, proc: SimProcess,
+                   pred: Callable[[np.ndarray], bool]) -> None:
+        self._waiters[pe].append((proc, pred))
+
+
+class SymmetricHeap:
+    """Registry of all symmetric allocations of one SHMEM job."""
+
+    def __init__(self, npes: int) -> None:
+        self.npes = npes
+        self._allocs: dict[int, SymmetricArray] = {}
+        self._next_handle = 0
+        self._calls = 0
+
+    def collective_alloc(self, pe: int, size: int, dtype: np.dtype) -> SymmetricArray:
+        """Per-PE part of ``shmem_malloc``.
+
+        The k-th alloc call of every PE maps to the k-th symmetric array;
+        mismatched sizes across PEs — a classic SHMEM bug — are detected.
+        """
+        handle = self._calls // self.npes
+        self._calls += 1
+        arr = self._allocs.get(handle)
+        if arr is None:
+            arr = SymmetricArray(handle, self.npes, size, dtype)
+            self._allocs[handle] = arr
+        elif arr.size != size or arr.dtype != dtype:
+            raise ShmemError(
+                f"symmetric alloc mismatch on PE {pe}: "
+                f"({size}, {dtype}) vs ({arr.size}, {arr.dtype})"
+            )
+        arr.register(pe, np.zeros(size, dtype))
+        return arr

@@ -1,0 +1,309 @@
+"""SHMEM job launch and the per-PE API handle."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.costs import DEFAULT_COSTS, SoftwareCosts
+from repro.errors import ConfigurationError, ShmemError
+from repro.shmem.heap import SymmetricArray, SymmetricHeap
+from repro.sim.engine import current_process
+from repro.sim.process import SimProcess
+from repro.sim.sync import Mailbox, SimLock
+
+
+class ShmemEnv:
+    """Shared state of one SHMEM job."""
+
+    def __init__(self, cluster: Cluster, npes: int, placement: list[int],
+                 fabric: str, costs: SoftwareCosts) -> None:
+        self.cluster = cluster
+        self.npes = npes
+        self.placement = placement
+        self.fabric = fabric
+        self.costs = costs
+        self.heap = SymmetricHeap(npes)
+        self.signals = [Mailbox(f"shmem:pe{i}") for i in range(npes)]
+        self.locks: dict[Any, SimLock] = {}
+        self.pe_of_proc: dict[int, int] = {}
+
+
+@dataclass
+class ShmemResult:
+    """Outcome of one SHMEM job."""
+
+    returns: list[Any]
+    elapsed: float
+
+
+class PE:
+    """Per-PE view of the SHMEM runtime (the ``shmem_*`` API surface)."""
+
+    def __init__(self, env: ShmemEnv, my_pe: int) -> None:
+        self.env = env
+        self.my_pe = my_pe
+
+    @property
+    def n_pes(self) -> int:
+        """``shmem_n_pes``."""
+        return self.env.npes
+
+    def wtime(self) -> float:
+        """Virtual time on this PE."""
+        return current_process().clock
+
+    # -- symmetric heap ------------------------------------------------------------
+
+    def alloc(self, size: int, dtype: Any = np.float64,
+              init: float | np.ndarray | None = None) -> SymmetricArray:
+        """``shmem_malloc``: collective symmetric allocation.
+
+        Every PE must call with identical size/dtype; the call synchronises
+        (as the OpenSHMEM spec requires).  ``init`` fills the local copy.
+        """
+        proc = current_process()
+        proc.compute(self.env.costs.shmem_alloc)
+        arr = self.env.heap.collective_alloc(self.my_pe, size, np.dtype(dtype))
+        if init is not None:
+            arr.local(self.my_pe)[:] = init
+        self.barrier_all()
+        return arr
+
+    def local(self, sym: SymmetricArray) -> np.ndarray:
+        """This PE's copy of a symmetric array (real memory)."""
+        return sym.local(self.my_pe)
+
+    # -- one-sided data movement -------------------------------------------------------
+
+    def _rma_nodes(self, target_pe: int) -> tuple[int, int]:
+        if not 0 <= target_pe < self.n_pes:
+            raise ShmemError(f"PE {target_pe} out of range 0..{self.n_pes - 1}")
+        return self.env.placement[self.my_pe], self.env.placement[target_pe]
+
+    def put(self, sym: SymmetricArray, data: np.ndarray | float, pe: int,
+            offset: int = 0) -> None:
+        """``shmem_put``: write into ``pe``'s copy; blocks until delivered
+        (our puts have ``shmem_quiet`` semantics — see :meth:`quiet`)."""
+        proc = current_process()
+        data = np.atleast_1d(np.asarray(data, dtype=sym.dtype))
+        target = sym.local(pe)
+        if offset + data.size > target.size:
+            raise ShmemError(
+                f"put of {data.size} at offset {offset} overflows "
+                f"symmetric array of {target.size}"
+            )
+        proc.compute(self.env.costs.shmem_rma_overhead)
+        src_node, dst_node = self._rma_nodes(pe)
+        self.env.cluster.network.transmit(
+            proc, self.env.fabric, src_node, dst_node, data.nbytes,
+            label=f"shmem.put->{pe}",
+        )
+        target[offset : offset + data.size] = data
+        sym.notify(pe, proc.clock)
+
+    def get(self, sym: SymmetricArray, pe: int, offset: int = 0,
+            count: int | None = None) -> np.ndarray:
+        """``shmem_get``: read from ``pe``'s copy."""
+        proc = current_process()
+        source = sym.local(pe)
+        count = source.size - offset if count is None else count
+        if offset + count > source.size:
+            raise ShmemError(
+                f"get of {count} at offset {offset} overflows "
+                f"symmetric array of {source.size}"
+            )
+        proc.compute(self.env.costs.shmem_rma_overhead)
+        src_node, dst_node = self._rma_nodes(pe)
+        view = source[offset : offset + count]
+        self.env.cluster.network.transmit(
+            proc, self.env.fabric, dst_node, src_node, view.nbytes,
+            label=f"shmem.get<-{pe}",
+        )
+        return view.copy()
+
+    def quiet(self) -> None:
+        """``shmem_quiet``: ensure outstanding puts completed.
+
+        Our put already blocks until remote completion (conservative), so
+        this only charges the call overhead — kept for API fidelity.
+        """
+        current_process().compute(self.env.costs.shmem_rma_overhead)
+
+    fence = quiet  # ordering is a weaker guarantee; same cost here
+
+    # -- atomics -----------------------------------------------------------------------------
+
+    def atomic_fetch_add(self, sym: SymmetricArray, value: float, pe: int,
+                         offset: int = 0) -> float:
+        """``shmem_atomic_fetch_add`` on one element of ``pe``'s copy.
+
+        The engine's one-at-a-time execution makes the read-modify-write
+        atomic; the time cost is a network round-trip (fetch semantics).
+        """
+        proc = current_process()
+        proc.compute(self.env.costs.shmem_rma_overhead)
+        src_node, dst_node = self._rma_nodes(pe)
+        itemsize = np.dtype(sym.dtype).itemsize
+        self.env.cluster.network.transmit(
+            proc, self.env.fabric, src_node, dst_node, itemsize,
+            label=f"shmem.amo->{pe}",
+        )
+        target = sym.local(pe)
+        old = target[offset]
+        target[offset] = old + value
+        self.env.cluster.network.transmit(
+            proc, self.env.fabric, dst_node, src_node, itemsize,
+            label=f"shmem.amo<-{pe}",
+        )
+        sym.notify(pe, proc.clock)
+        return old.item() if hasattr(old, "item") else old
+
+    def atomic_add(self, sym: SymmetricArray, value: float, pe: int,
+                   offset: int = 0) -> None:
+        """``shmem_atomic_add``: non-fetching (one-way latency)."""
+        proc = current_process()
+        proc.compute(self.env.costs.shmem_rma_overhead)
+        src_node, dst_node = self._rma_nodes(pe)
+        itemsize = np.dtype(sym.dtype).itemsize
+        self.env.cluster.network.transmit(
+            proc, self.env.fabric, src_node, dst_node, itemsize,
+            label=f"shmem.amo->{pe}",
+        )
+        sym.local(pe)[offset] += value
+        sym.notify(pe, proc.clock)
+
+    def atomic_swap(self, sym: SymmetricArray, value: float, pe: int,
+                    offset: int = 0) -> float:
+        """``shmem_atomic_swap``: write ``value``, return the old element."""
+        proc = current_process()
+        proc.compute(self.env.costs.shmem_rma_overhead)
+        src_node, dst_node = self._rma_nodes(pe)
+        itemsize = np.dtype(sym.dtype).itemsize
+        self.env.cluster.network.transmit(
+            proc, self.env.fabric, src_node, dst_node, itemsize,
+            label=f"shmem.swap->{pe}")
+        target = sym.local(pe)
+        old = target[offset]
+        target[offset] = value
+        self.env.cluster.network.transmit(
+            proc, self.env.fabric, dst_node, src_node, itemsize,
+            label=f"shmem.swap<-{pe}")
+        sym.notify(pe, proc.clock)
+        return old.item() if hasattr(old, "item") else old
+
+    def atomic_compare_swap(self, sym: SymmetricArray, cond: float,
+                            value: float, pe: int, offset: int = 0) -> float:
+        """``shmem_atomic_compare_swap``: write ``value`` iff the element
+        equals ``cond``; returns the prior element either way."""
+        proc = current_process()
+        proc.compute(self.env.costs.shmem_rma_overhead)
+        src_node, dst_node = self._rma_nodes(pe)
+        itemsize = np.dtype(sym.dtype).itemsize
+        self.env.cluster.network.transmit(
+            proc, self.env.fabric, src_node, dst_node, 2 * itemsize,
+            label=f"shmem.cswap->{pe}")
+        target = sym.local(pe)
+        old = target[offset]
+        if old == cond:
+            target[offset] = value
+            sym.notify(pe, proc.clock)
+        self.env.cluster.network.transmit(
+            proc, self.env.fabric, dst_node, src_node, itemsize,
+            label=f"shmem.cswap<-{pe}")
+        return old.item() if hasattr(old, "item") else old
+
+    # -- point-to-point synchronisation --------------------------------------------------------
+
+    def wait_until(self, sym: SymmetricArray, pred: Callable[[np.ndarray], bool]) -> None:
+        """``shmem_wait_until``: block until a remote update makes ``pred``
+        true of *this PE's* copy."""
+        proc = current_process()
+        proc.checkpoint()
+        if pred(self.local(sym)):
+            return
+        sym.add_waiter(self.my_pe, proc, pred)
+        proc.block(reason=f"shmem.wait_until(pe={self.my_pe})")
+
+    # -- locks -----------------------------------------------------------------------------------
+
+    def set_lock(self, name: Any) -> None:
+        """``shmem_set_lock``: acquire a job-global distributed lock."""
+        lock = self.env.locks.setdefault(name, SimLock(f"shmem.lock:{name}"))
+        proc = current_process()
+        # lock acquisition costs a remote round-trip to the lock's home PE
+        home = hash(name) % self.n_pes
+        src_node, dst_node = self._rma_nodes(home)
+        self.env.cluster.network.transmit(proc, self.env.fabric, src_node,
+                                          dst_node, 8, label="shmem.lock")
+        lock.acquire(proc)
+
+    def clear_lock(self, name: Any) -> None:
+        """``shmem_clear_lock``."""
+        lock = self.env.locks.get(name)
+        if lock is None:
+            raise ShmemError(f"clear_lock on unknown lock {name!r}")
+        lock.release(current_process())
+
+    # -- collectives (implemented in repro.shmem.collectives) -------------------------------------
+
+    def barrier_all(self) -> None:
+        """``shmem_barrier_all`` (dissemination over the fabric)."""
+        from repro.shmem import collectives
+
+        collectives.barrier_all(self)
+
+    def broadcast(self, sym: SymmetricArray, root: int = 0) -> None:
+        """``shmem_broadcast``: root's copy replaces everyone's."""
+        from repro.shmem import collectives
+
+        collectives.broadcast(self, sym, root)
+
+    def sum_to_all(self, sym: SymmetricArray) -> None:
+        """``shmem_sum_to_all``: elementwise sum lands in every copy."""
+        from repro.shmem import collectives
+
+        collectives.sum_to_all(self, sym)
+
+    def collect(self, sym: SymmetricArray) -> np.ndarray:
+        """``shmem_collect``: concatenation of all PEs' copies (returned)."""
+        from repro.shmem import collectives
+
+        return collectives.collect(self, sym)
+
+
+def shmem_run(
+    cluster: Cluster,
+    fn: Callable[..., Any],
+    npes: int,
+    *,
+    pes_per_node: int | None = None,
+    fabric: str = "ib-fdr-rdma",
+    costs: SoftwareCosts = DEFAULT_COSTS,
+    args: tuple = (),
+) -> ShmemResult:
+    """Launch ``fn(pe, *args)`` as an SPMD SHMEM job of ``npes`` PEs."""
+    if npes < 1:
+        raise ConfigurationError("npes must be >= 1")
+    if pes_per_node is None:
+        pes_per_node = -(-npes // len(cluster.nodes))
+    placement = cluster.placement(npes, pes_per_node)
+    env = ShmemEnv(cluster, npes, placement, fabric, costs)
+    procs: list[SimProcess] = []
+
+    def pe_main(idx: int) -> Any:
+        proc = current_process()
+        env.pe_of_proc[proc.pid] = idx
+        pe = PE(env, idx)
+        pe.barrier_all()  # shmem_init synchronisation
+        return fn(pe, *args)
+
+    for i in range(npes):
+        procs.append(
+            cluster.spawn(pe_main, i, node_id=placement[i], name=f"shmem:pe{i}")
+        )
+    elapsed = cluster.run()
+    return ShmemResult(returns=[p.result for p in procs], elapsed=elapsed)

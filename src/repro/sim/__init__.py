@@ -1,0 +1,40 @@
+"""Deterministic virtual-time discrete-event simulation substrate.
+
+This subpackage is the foundation of the whole reproduction: every MPI rank,
+OpenMP thread, OpenSHMEM PE, Spark driver/executor and MapReduce task is a
+:class:`~repro.sim.process.SimProcess` — a real Python thread whose *virtual*
+clock is coordinated by the :class:`~repro.sim.engine.Engine` so that exactly
+one process runs at a time and all timed interactions happen in virtual-time
+order.  The design follows the "threads over a simulation core" approach of
+SimGrid/SST-macro: user code is ordinary imperative SPMD Python, and timing
+comes from explicit cost models, never from the host's wall clock.
+
+Public surface:
+
+* :class:`Engine`, :class:`SimProcess`, :func:`current_process`
+* :class:`FluidResource` — fair-share bandwidth resource (NICs, SSDs, NFS)
+* :class:`FifoResource` — k-channel FIFO resource (CPU-ish serial devices)
+* :class:`Mailbox`, :class:`SimBarrier`, :class:`Future` — rendezvous helpers
+* :class:`Trace` — structured event trace used by tests and debugging
+"""
+
+from repro.sim.engine import Engine, current_process
+from repro.sim.process import ProcState, SimProcess
+from repro.sim.resources import FifoResource, FluidResource, Flow
+from repro.sim.sync import Future, Mailbox, SimBarrier
+from repro.sim.trace import Trace, TraceEvent
+
+__all__ = [
+    "Engine",
+    "SimProcess",
+    "ProcState",
+    "current_process",
+    "FluidResource",
+    "FifoResource",
+    "Flow",
+    "Mailbox",
+    "SimBarrier",
+    "Future",
+    "Trace",
+    "TraceEvent",
+]

@@ -1,0 +1,190 @@
+"""The virtual-time scheduler.
+
+One :class:`Engine` owns a set of :class:`~repro.sim.process.SimProcess`
+instances and runs them cooperatively: the runnable process with the smallest
+``(clock, pid)`` gets the execution token, runs until it parks (at a
+checkpoint, a blocking primitive or completion), then the next minimum is
+chosen.  Because every interaction with shared simulation state is preceded
+by a checkpoint, interactions execute in global virtual-time order and the
+simulation is deterministic.
+
+The engine runs on the caller's thread; simulated processes each own a
+daemon thread that is parked except when granted the token, so at any moment
+at most one thread is doing work.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Iterable
+
+from repro.errors import DeadlockError, SimProcessError, SimulationError
+from repro.sim.process import ProcState, SimProcess
+from repro.sim.trace import Trace
+
+_current: threading.local = threading.local()
+
+
+def current_process() -> SimProcess:
+    """Return the :class:`SimProcess` executing on the calling thread.
+
+    Raises :class:`SimulationError` when called from outside a simulated
+    process (e.g. from the host test code).
+    """
+    proc = getattr(_current, "proc", None)
+    if proc is None:
+        raise SimulationError(
+            "current_process() called outside a simulated process"
+        )
+    return proc
+
+
+class Engine:
+    """Deterministic cooperative scheduler for simulated processes.
+
+    Parameters
+    ----------
+    trace:
+        Optional :class:`~repro.sim.trace.Trace` collecting structured
+        events; when ``None`` a disabled trace is used (zero overhead).
+
+    Example
+    -------
+    >>> eng = Engine()
+    >>> def hello():
+    ...     current_process().compute(1.5)
+    ...     return "hi"
+    >>> p = eng.spawn(hello, name="p0")
+    >>> eng.run()
+    1.5
+    >>> p.result, p.clock
+    ('hi', 1.5)
+    """
+
+    def __init__(self, *, trace: Trace | None = None) -> None:
+        self.trace = trace if trace is not None else Trace(enabled=False)
+        self.processes: list[SimProcess] = []
+        self._next_pid = 0
+        self._yield_evt = threading.Event()
+        self._running = False
+        #: virtual time of the most recently scheduled process; monotone
+        #: non-decreasing over interaction points.
+        self.now = 0.0
+
+    # -- construction --------------------------------------------------------
+
+    def spawn(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        name: str | None = None,
+        start_time: float | None = None,
+        node: Any = None,
+        **kwargs: Any,
+    ) -> SimProcess:
+        """Create a simulated process running ``fn(*args, **kwargs)``.
+
+        May be called before :meth:`run` or from *inside* a running process
+        (dynamic spawning, used by the MapReduce engine to launch task
+        attempts).  A dynamically spawned process starts at the spawner's
+        current virtual time unless ``start_time`` is given.
+        """
+        if start_time is None:
+            parent = getattr(_current, "proc", None)
+            start_time = parent.clock if parent is not None else 0.0
+        pid = self._next_pid
+        self._next_pid += 1
+        proc = SimProcess(
+            self,
+            pid,
+            fn,
+            args,
+            kwargs,
+            name=name or f"proc-{pid}",
+            start_time=start_time,
+            node=node,
+        )
+        self.processes.append(proc)
+        if self._running:
+            proc._start()
+        return proc
+
+    def _register_current(self, proc: SimProcess) -> None:
+        """Bind ``proc`` to its backing thread (called from that thread)."""
+        _current.proc = proc
+
+    # -- scheduling loop ------------------------------------------------------
+
+    def run(self) -> float:
+        """Run until every process has finished; return the final makespan.
+
+        Raises
+        ------
+        SimProcessError
+            If any process raised; the original traceback is chained.
+        DeadlockError
+            If at some point every live process is blocked.
+        """
+        if self._running:
+            raise SimulationError("Engine.run() is not reentrant")
+        self._running = True
+        try:
+            for proc in self.processes:
+                proc._start()
+            while True:
+                runnable = [
+                    p for p in self.processes if p.state is ProcState.RUNNABLE
+                ]
+                if not runnable:
+                    blocked = [
+                        p for p in self.processes if p.state is ProcState.BLOCKED
+                    ]
+                    if blocked:
+                        self._abort()
+                        raise DeadlockError(self._deadlock_message(blocked))
+                    break  # everything DONE/FAILED
+                proc = min(runnable, key=lambda p: (p.clock, p.pid))
+                self.now = max(self.now, proc.clock)
+                self._yield_evt.clear()
+                proc._grant()
+                self._yield_evt.wait()
+                if proc.state is ProcState.FAILED and proc.exception is not None:
+                    self._abort()
+                    raise SimProcessError(proc.name) from proc.exception
+            return self.makespan()
+        finally:
+            self._running = False
+
+    def makespan(self) -> float:
+        """Largest virtual clock reached by any process."""
+        return max((p.clock for p in self.processes), default=0.0)
+
+    def results(self) -> list[Any]:
+        """Return values of all processes, in spawn order."""
+        return [p.result for p in self.processes]
+
+    # -- internals -----------------------------------------------------------
+
+    def _on_yield(self, proc: SimProcess) -> None:
+        """Called from the process thread when it parks or terminates."""
+        self._yield_evt.set()
+
+    def _abort(self) -> None:
+        """Unwind every parked process by injecting ``SimKilled``."""
+        for p in self.processes:
+            if p.state in (ProcState.RUNNABLE, ProcState.BLOCKED):
+                p._killed = True
+                self._yield_evt.clear()
+                p._go.set()
+                self._yield_evt.wait()
+            elif p.state is ProcState.NEW:
+                p._killed = True
+                p.state = ProcState.FAILED
+
+    def _deadlock_message(self, blocked: Iterable[SimProcess]) -> str:
+        lines = ["simulation deadlock: all live processes are blocked"]
+        for p in blocked:
+            lines.append(
+                f"  - {p.name} (t={p.clock:.6g}) waiting on: {p.waiting_on or '?'}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,235 @@
+"""Simulated processes: real threads with virtual clocks.
+
+A :class:`SimProcess` executes ordinary Python code on its own OS thread but
+never runs concurrently with another simulated process — the engine grants
+the CPU to one process at a time, always the runnable process with the
+smallest virtual clock.  This makes runs bit-for-bit deterministic regardless
+of host scheduling.
+
+Time advances only through the explicit API:
+
+* :meth:`SimProcess.compute` — charge local CPU time (no context switch);
+* :meth:`SimProcess.checkpoint` — yield so that every *interaction* with
+  shared state (resources, mailboxes) happens in global virtual-time order;
+* :meth:`SimProcess.block` / :meth:`SimProcess.park_until` — wait for another
+  process or for a scheduled virtual instant.
+
+All methods prefixed with an underscore are engine/runtime internals.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.errors import SimKilled, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Engine
+
+
+class ProcState(enum.Enum):
+    """Lifecycle of a simulated process."""
+
+    NEW = "new"            # spawned, thread not yet started
+    RUNNABLE = "runnable"  # parked; will resume when its clock is minimal
+    RUNNING = "running"    # currently holds the (single) execution token
+    BLOCKED = "blocked"    # parked with no wake time; another process must wake it
+    DONE = "done"          # function returned
+    FAILED = "failed"      # function raised; see .exception
+
+
+class SimProcess:
+    """One simulated process (thread + virtual clock).
+
+    Instances are created via :meth:`repro.sim.engine.Engine.spawn`; user code
+    receives the current instance through
+    :func:`repro.sim.engine.current_process`.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier used in traces and deadlock dumps.
+    pid:
+        Dense integer id; ties in virtual time are broken by ``pid`` so that
+        scheduling is deterministic.
+    clock:
+        The process-local virtual time, in seconds.
+    node:
+        Optional opaque placement tag (the cluster layer stores the
+        :class:`~repro.cluster.node.Node` the process is pinned to).
+    """
+
+    def __init__(
+        self,
+        engine: "Engine",
+        pid: int,
+        fn: Callable[..., Any],
+        args: tuple,
+        kwargs: dict,
+        *,
+        name: str,
+        start_time: float = 0.0,
+        node: Any = None,
+    ) -> None:
+        self.engine = engine
+        self.pid = pid
+        self.name = name
+        self.clock = float(start_time)
+        self.node = node
+        self.state = ProcState.NEW
+        self.result: Any = None
+        self.exception: BaseException | None = None
+        #: set when the process is blocked; shown in deadlock dumps
+        self.waiting_on: str | None = None
+        self._fn = fn
+        self._args = args
+        self._kwargs = kwargs
+        self._go = threading.Event()
+        self._killed = False
+        self._thread = threading.Thread(
+            target=self._thread_main, name=f"sim:{name}", daemon=True
+        )
+
+    # -- introspection ------------------------------------------------------
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SimProcess {self.name} pid={self.pid} t={self.clock:.6g} {self.state.value}>"
+
+    @property
+    def alive(self) -> bool:
+        """True while the process may still run."""
+        return self.state not in (ProcState.DONE, ProcState.FAILED)
+
+    # -- public API (call only from inside the process) ---------------------
+
+    def compute(self, seconds: float) -> None:
+        """Charge ``seconds`` of local work to this process's clock.
+
+        Pure local computation does not interact with shared simulation
+        state, so no context switch is needed: the clock simply advances.
+        """
+        if seconds < 0:
+            raise SimulationError(f"negative compute time: {seconds}")
+        self._assert_current()
+        self.clock += seconds
+
+    def compute_bytes(self, nbytes: float, rate_bytes_per_s: float) -> None:
+        """Charge CPU time for streaming ``nbytes`` at ``rate_bytes_per_s``."""
+        if rate_bytes_per_s <= 0:
+            raise SimulationError(f"non-positive rate: {rate_bytes_per_s}")
+        self.compute(nbytes / rate_bytes_per_s)
+
+    def checkpoint(self) -> None:
+        """Yield to the engine so interactions occur in virtual-time order.
+
+        Every primitive that touches shared simulation state (resources,
+        mailboxes, wakes) must call this first.  On return, every other
+        process either has ``clock >= self.clock`` or is blocked, so an
+        interaction performed now is globally ordered.
+        """
+        self._assert_current()
+        self._park(ProcState.RUNNABLE)
+
+    def sleep(self, seconds: float) -> None:
+        """Advance the clock by ``seconds`` and yield (an ordered delay)."""
+        self.compute(seconds)
+        self.checkpoint()
+
+    def park_until(self, wake_time: float, *, reason: str = "timer") -> None:
+        """Park until virtual time ``wake_time`` (revisable by resources).
+
+        The process is RUNNABLE with ``clock = wake_time``; another process
+        acting at an earlier virtual time may revise the wake time with
+        :meth:`_revise_wake` before it fires.
+        """
+        self._assert_current()
+        if wake_time < self.clock:
+            raise SimulationError(
+                f"{self.name}: wake time {wake_time} precedes clock {self.clock}"
+            )
+        self.clock = wake_time
+        self.waiting_on = reason
+        self._park(ProcState.RUNNABLE)
+        self.waiting_on = None
+
+    def block(self, *, reason: str) -> None:
+        """Park with no scheduled wake; another process must call :meth:`_wake`.
+
+        On return the clock has been set by the waker (never backwards).
+        """
+        self._assert_current()
+        self.waiting_on = reason
+        self._park(ProcState.BLOCKED)
+        self.waiting_on = None
+
+    # -- engine/runtime internals -------------------------------------------
+
+    def _wake(self, at_time: float) -> None:
+        """Make a BLOCKED process runnable at ``max(its clock, at_time)``.
+
+        Called by *another* (currently running) process or by the engine.
+        """
+        if self.state is not ProcState.BLOCKED:
+            raise SimulationError(
+                f"cannot wake {self.name}: state is {self.state.value}"
+            )
+        self.clock = max(self.clock, at_time)
+        self.state = ProcState.RUNNABLE
+
+    def _revise_wake(self, wake_time: float) -> None:
+        """Revise the wake time of a process parked via :meth:`park_until`."""
+        if self.state is not ProcState.RUNNABLE:
+            raise SimulationError(
+                f"cannot revise wake of {self.name}: state is {self.state.value}"
+            )
+        self.clock = wake_time
+
+    def _park(self, state: ProcState) -> None:
+        """Hand the token back to the engine and wait to be rescheduled."""
+        self.state = state
+        self.engine._on_yield(self)
+        self._go.wait()
+        self._go.clear()
+        if self._killed:
+            raise SimKilled()
+
+    def _grant(self) -> None:
+        """Engine-side: give this process the execution token."""
+        self.state = ProcState.RUNNING
+        self._go.set()
+
+    def _start(self) -> None:
+        """Engine-side: start the backing thread (parked immediately)."""
+        if self.state is not ProcState.NEW:
+            return
+        self.state = ProcState.RUNNABLE
+        self._thread.start()
+
+    def _assert_current(self) -> None:
+        if self.state is not ProcState.RUNNING:
+            raise SimulationError(
+                f"sim API called from outside process {self.name!r} "
+                f"(state={self.state.value}); use Engine.spawn to create "
+                "simulated processes"
+            )
+
+    def _thread_main(self) -> None:
+        self.engine._register_current(self)
+        # Wait for the first grant before touching any shared state.
+        self._go.wait()
+        self._go.clear()
+        try:
+            if self._killed:
+                raise SimKilled()
+            self.result = self._fn(*self._args, **self._kwargs)
+            self.state = ProcState.DONE
+        except SimKilled:
+            self.state = ProcState.FAILED
+            self.exception = None  # deliberate shutdown, not an error
+        except BaseException as exc:  # noqa: BLE001 - report any failure
+            self.state = ProcState.FAILED
+            self.exception = exc
+        finally:
+            self.engine._on_yield(self)

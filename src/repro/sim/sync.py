@@ -1,0 +1,235 @@
+"""Rendezvous primitives for simulated processes.
+
+These are the *simulation-level* building blocks out of which the
+programming-model runtimes construct their user-facing semantics (MPI
+send/recv and barriers, Spark shuffle fetches, SHMEM synchronisation ...).
+
+All primitives resolve wake times in virtual time: a receiver never observes
+a message before its arrival time, and a barrier releases everyone at the
+latest arrival.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+from repro.sim.process import ProcState, SimProcess
+
+
+@dataclass
+class Message:
+    """An in-flight payload: visible to receivers from ``arrival`` onwards."""
+
+    arrival: float
+    payload: Any
+    meta: dict[str, Any] = field(default_factory=dict)
+
+
+class Mailbox:
+    """An unbounded, order-preserving message queue with predicate matching.
+
+    ``recv`` completes at ``max(receiver clock, message arrival)``; if no
+    matching message is queued the receiver blocks until one is posted.
+    Matching scans in post order, so messages between the same pair with the
+    same match key are non-overtaking (the MPI guarantee).
+    """
+
+    def __init__(self, name: str = "mailbox") -> None:
+        self.name = name
+        self._queue: deque[Message] = deque()
+        self._waiters: deque[tuple[SimProcess, Callable[[Message], bool], list]] = deque()
+
+    def post(self, sender: SimProcess, payload: Any, *, arrival: float | None = None, **meta: Any) -> None:
+        """Deposit a message; wakes the first compatible blocked receiver.
+
+        ``arrival`` defaults to the sender's current clock (i.e. the payload
+        is visible immediately); transports that model latency/bandwidth pass
+        the transfer completion time instead.
+        """
+        sender.checkpoint()  # interactions execute in virtual-time order
+        msg = Message(arrival if arrival is not None else sender.clock, payload, meta)
+        for i, (proc, match, slot) in enumerate(self._waiters):
+            if match(msg):
+                del self._waiters[i]
+                slot.append(msg)
+                proc._wake(max(proc.clock, msg.arrival))
+                return
+        self._queue.append(msg)
+
+    def recv(
+        self,
+        proc: SimProcess,
+        match: Callable[[Message], bool] | None = None,
+        *,
+        reason: str | None = None,
+    ) -> Message:
+        """Take the oldest matching message, blocking until one exists."""
+        proc.checkpoint()
+        if match is None:
+            match = lambda _m: True  # noqa: E731
+        for i, msg in enumerate(self._queue):
+            if match(msg):
+                del self._queue[i]
+                if msg.arrival > proc.clock:
+                    proc.park_until(msg.arrival, reason="recv-arrival")
+                return msg
+        slot: list[Message] = []
+        self._waiters.append((proc, match, slot))
+        proc.block(reason=reason or f"recv:{self.name}")
+        if not slot:
+            raise SimulationError(f"{proc.name}: woken without a message")
+        return slot[0]
+
+    def try_recv(
+        self, proc: SimProcess, match: Callable[[Message], bool] | None = None
+    ) -> Message | None:
+        """Non-blocking probe: a matching message *already arrived*, or None."""
+        proc.checkpoint()
+        if match is None:
+            match = lambda _m: True  # noqa: E731
+        for i, msg in enumerate(self._queue):
+            if match(msg) and msg.arrival <= proc.clock:
+                del self._queue[i]
+                return msg
+        return None
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+class SimBarrier:
+    """A reusable n-party barrier; all parties leave at the latest arrival.
+
+    This is the *zero-cost* synchronisation primitive (used e.g. for OpenMP's
+    intra-node barrier, where the hardware cost is folded into the runtime's
+    own constants).  MPI's barrier is built from messages instead, so its
+    cost scales with ``log p`` as on a real machine.
+    """
+
+    def __init__(self, parties: int, name: str = "barrier") -> None:
+        if parties < 1:
+            raise SimulationError("barrier needs at least one party")
+        self.parties = parties
+        self.name = name
+        self._arrived: list[SimProcess] = []
+        self._generation = 0
+
+    def wait(self, proc: SimProcess, extra_cost: float = 0.0) -> int:
+        """Enter the barrier; returns the barrier generation just completed.
+
+        ``extra_cost`` is added to the release time (per-barrier overhead).
+        """
+        proc.checkpoint()
+        gen = self._generation
+        self._arrived.append(proc)
+        if len(self._arrived) == self.parties:
+            release = max(p.clock for p in self._arrived) + extra_cost
+            self._generation += 1
+            waiters, self._arrived = self._arrived[:-1], []
+            for p in waiters:
+                p._wake(release)
+            if release > proc.clock:
+                proc.park_until(release, reason=f"barrier:{self.name}")
+            return gen
+        proc.block(reason=f"barrier:{self.name}")
+        return gen
+
+
+class SimLock:
+    """A mutex in *virtual* time.
+
+    The engine never runs two processes at once, so physical races cannot
+    happen — what this lock provides is mutual exclusion of virtual-time
+    *intervals*: if A holds the lock from t=1 to t=3, B's acquire at t=2
+    completes at t=3.  Used for OpenMP ``critical`` sections and SHMEM
+    locks.
+    """
+
+    def __init__(self, name: str = "lock") -> None:
+        self.name = name
+        self._holder: SimProcess | None = None
+        self._waiters: deque[SimProcess] = deque()
+
+    @property
+    def held(self) -> bool:
+        return self._holder is not None
+
+    def acquire(self, proc: SimProcess) -> None:
+        """Block until the lock is free, then take it."""
+        proc.checkpoint()
+        if self._holder is None:
+            self._holder = proc
+            return
+        if self._holder is proc:
+            raise SimulationError(f"{proc.name}: lock {self.name!r} is not reentrant")
+        self._waiters.append(proc)
+        proc.block(reason=f"lock:{self.name}")
+
+    def release(self, proc: SimProcess) -> None:
+        """Release; the longest-waiting process acquires at this instant."""
+        proc.checkpoint()  # contenders at earlier virtual times queue first
+        if self._holder is not proc:
+            raise SimulationError(
+                f"{proc.name}: releasing lock {self.name!r} it does not hold"
+            )
+        if self._waiters:
+            nxt = self._waiters.popleft()
+            self._holder = nxt
+            nxt._wake(proc.clock)
+        else:
+            self._holder = None
+
+
+class Future:
+    """A one-shot value that simulated processes can wait for."""
+
+    def __init__(self, name: str = "future") -> None:
+        self.name = name
+        self._done = False
+        self._value: Any = None
+        self._set_time = 0.0
+        self._exception: BaseException | None = None
+        self._waiters: list[SimProcess] = []
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    def set(self, proc: SimProcess, value: Any = None) -> None:
+        """Resolve the future at ``proc``'s current time; wakes all waiters."""
+        proc.checkpoint()  # earlier-time waiters must register before we fire
+        if self._done:
+            raise SimulationError(f"future {self.name!r} set twice")
+        self._done = True
+        self._value = value
+        self._set_time = proc.clock
+        waiters, self._waiters = self._waiters, []
+        for p in waiters:
+            p._wake(self._set_time)
+
+    def set_exception(self, proc: SimProcess, exc: BaseException) -> None:
+        """Resolve the future with an error; waiters re-raise it."""
+        proc.checkpoint()
+        if self._done:
+            raise SimulationError(f"future {self.name!r} set twice")
+        self._done = True
+        self._exception = exc
+        self._set_time = proc.clock
+        waiters, self._waiters = self._waiters, []
+        for p in waiters:
+            p._wake(self._set_time)
+
+    def wait(self, proc: SimProcess) -> Any:
+        """Block until resolved; returns the value (or raises the error)."""
+        proc.checkpoint()
+        if not self._done:
+            self._waiters.append(proc)
+            proc.block(reason=f"future:{self.name}")
+        elif self._set_time > proc.clock:
+            proc.park_until(self._set_time, reason=f"future:{self.name}")
+        if self._exception is not None:
+            raise self._exception
+        return self._value

@@ -1,0 +1,87 @@
+"""Structured event tracing for simulations.
+
+Traces record *what the simulator did* (message sends, flow start/finish,
+task launches ...) with virtual timestamps.  Tests assert on traces to check
+mechanisms (e.g. "the binomial broadcast performed exactly ``p-1`` sends");
+the benchmark harness can dump them for debugging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One trace record.
+
+    ``time`` is the virtual time at which the event occurred; ``proc`` is the
+    name of the process that performed it (or ``"-"`` for engine-level
+    events); ``kind`` is a short dotted tag like ``"mpi.send"``; ``detail``
+    carries free-form fields.
+    """
+
+    time: float
+    proc: str
+    kind: str
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        kv = " ".join(f"{k}={v}" for k, v in self.detail.items())
+        return f"[{self.time:12.6f}] {self.proc:<20} {self.kind:<18} {kv}"
+
+
+class Trace:
+    """Append-only event sink with simple filtering helpers.
+
+    Parameters
+    ----------
+    enabled:
+        When ``False`` (the default for production runs), :meth:`record` is a
+        no-op so tracing costs nothing.
+    """
+
+    def __init__(self, *, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.events: list[TraceEvent] = []
+
+    def record(self, time: float, proc: str, kind: str, **detail: Any) -> None:
+        """Append one event (no-op when disabled)."""
+        if self.enabled:
+            self.events.append(TraceEvent(time, proc, kind, detail))
+
+    # -- query helpers -------------------------------------------------------
+
+    def filter(
+        self,
+        kind: str | None = None,
+        proc: str | None = None,
+        pred: Callable[[TraceEvent], bool] | None = None,
+    ) -> list[TraceEvent]:
+        """Events matching all given criteria (``kind`` may be a prefix)."""
+        out = []
+        for ev in self.events:
+            if kind is not None and not ev.kind.startswith(kind):
+                continue
+            if proc is not None and ev.proc != proc:
+                continue
+            if pred is not None and not pred(ev):
+                continue
+            out.append(ev)
+        return out
+
+    def count(self, kind: str) -> int:
+        """Number of events whose kind starts with ``kind``."""
+        return len(self.filter(kind=kind))
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def dump(self, limit: int | None = None) -> str:  # pragma: no cover
+        """Human-readable dump (for interactive debugging)."""
+        evs = self.events if limit is None else self.events[:limit]
+        return "\n".join(str(e) for e in evs)

@@ -1,0 +1,42 @@
+"""Spark-like engine: lazy RDDs over the simulated cluster.
+
+Faithfully models the Spark 1.5 execution architecture the paper benchmarks:
+
+* **RDDs** (Section II-E): read-only, partitioned, lazily evaluated;
+  transformations build a lineage graph, actions trigger jobs.
+* **DAG scheduler**: stages cut at shuffle dependencies, tasks dispatched
+  serially through the driver (the overhead that dominates Fig 3),
+  locality-aware placement against HDFS block locations (Section V-B2).
+* **Block manager**: per-executor memory budget with LRU eviction and
+  ``StorageLevel`` (MEMORY_ONLY / MEMORY_AND_DISK / DISK_ONLY) — the
+  ``persist`` call whose effect Fig 6 measures.
+* **Shuffle** with pluggable transport: ``"socket"`` (IPoIB, the default
+  Spark) or ``"rdma"`` (the Lu et al. plugin: RDMA for shuffle payloads
+  only; control traffic stays on sockets), reproducing Fig 7.
+* **Fault tolerance** (Section VI-D): losing an executor drops its cached
+  blocks and shuffle outputs; the scheduler recomputes exactly the lost
+  lineage.
+
+Entry point::
+
+    from repro.spark import SparkContext
+
+    sc = SparkContext(cluster, executors_per_node=8)
+    def app(sc):
+        return sc.parallelize(range(1000), 64).map(lambda x: x * x).sum()
+    result = sc.run(app)
+"""
+
+from repro.spark.context import SparkContext, SparkJobResult
+from repro.spark.partitioner import HashPartitioner, stable_hash
+from repro.spark.rdd import RDD
+from repro.spark.storage import StorageLevel
+
+__all__ = [
+    "SparkContext",
+    "SparkJobResult",
+    "RDD",
+    "StorageLevel",
+    "HashPartitioner",
+    "stable_hash",
+]

@@ -1,0 +1,49 @@
+"""Accumulators: task-side adds merged into a driver-side value.
+
+Tasks may only add; only the driver reads.  Updates travel back with task
+results (as in Spark), so they cost nothing extra on the wire and are
+merged exactly once per successful task.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.sim.engine import current_process
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.spark.context import SparkContext
+
+
+class Accumulator:
+    """A write-only-from-tasks aggregation variable."""
+
+    def __init__(self, sc: "SparkContext", acc_id: int, zero: Any,
+                 add: Callable[[Any, Any], Any] | None) -> None:
+        self.sc = sc
+        self.id = acc_id
+        self._zero = zero
+        self._add = add or (lambda a, b: a + b)
+        self._value = zero
+
+    def add(self, v: Any) -> None:
+        """Add ``v``; inside a task the update is buffered and shipped with
+        the task result, on the driver it merges immediately."""
+        proc = current_process()
+        ctx = self.sc.env.active_ctx.get(proc.pid)
+        if ctx is not None:
+            current = ctx.accum_updates.get(self.id, self._zero)
+            ctx.accum_updates[self.id] = self._add(current, v)
+        else:
+            self._value = self._add(self._value, v)
+
+    def _merge(self, update: Any) -> None:
+        self._value = self._add(self._value, update)
+
+    @property
+    def value(self) -> Any:
+        """Driver-side read of the accumulated value."""
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Accumulator {self.id} value={self._value!r}>"

@@ -1,0 +1,86 @@
+"""Key partitioners and the deterministic hash they rely on.
+
+Python's built-in ``hash`` for strings is randomised per interpreter run
+(PYTHONHASHSEED), which would make simulations non-reproducible; all key
+hashing here goes through :func:`stable_hash` instead.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any
+
+
+def stable_hash(key: Any) -> int:
+    """Deterministic 32-bit hash of a key (crc32 of its repr).
+
+    Stable across runs and processes, unlike ``hash(str)``.  Integers hash
+    to themselves (keeps small-int keys well spread under modulo).
+    """
+    if isinstance(key, bool):
+        return int(key)
+    if isinstance(key, int):
+        return key & 0x7FFFFFFF
+    if isinstance(key, bytes):
+        return zlib.crc32(key)
+    return zlib.crc32(repr(key).encode())
+
+
+class Partitioner:
+    """Maps keys to partition ids in ``[0, num_partitions)``."""
+
+    def __init__(self, num_partitions: int) -> None:
+        if num_partitions < 1:
+            raise ValueError(f"num_partitions must be >= 1, got {num_partitions}")
+        self.num_partitions = num_partitions
+
+    def partition(self, key: Any) -> int:  # pragma: no cover - abstract-ish
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            type(self) is type(other)
+            and self.num_partitions == other.num_partitions  # type: ignore[attr-defined]
+        )
+
+    def __hash__(self) -> int:  # allow use in sets/dicts
+        return hash((type(self).__name__, self.num_partitions))
+
+
+class HashPartitioner(Partitioner):
+    """Spark's default: ``stable_hash(key) % n``."""
+
+    def partition(self, key: Any) -> int:
+        return stable_hash(key) % self.num_partitions
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HashPartitioner({self.num_partitions})"
+
+
+class RangePartitioner(Partitioner):
+    """Range partitioner over pre-computed bounds (used by ``sortBy``).
+
+    ``bounds`` are the upper-exclusive split points: a key goes to the first
+    partition whose bound exceeds it (last partition takes the rest).
+    """
+
+    def __init__(self, bounds: list, ascending: bool = True) -> None:
+        super().__init__(len(bounds) + 1)
+        self.bounds = list(bounds)
+        self.ascending = ascending
+
+    def partition(self, key: Any) -> int:
+        import bisect
+
+        idx = bisect.bisect_right(self.bounds, key)
+        return idx if self.ascending else (self.num_partitions - 1 - idx)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, RangePartitioner)
+            and self.bounds == other.bounds
+            and self.ascending == other.ascending
+        )
+
+    def __hash__(self) -> int:
+        return hash(("range", tuple(self.bounds), self.ascending))

@@ -1,0 +1,833 @@
+"""RDDs: lazy, partitioned, lineage-tracked datasets (paper Section II-E).
+
+Transformations return new RDDs and record their dependencies; nothing
+computes until an action runs a job through the DAG scheduler.  As in real
+Spark, nearly every narrow transformation lowers onto
+:class:`MapPartitionsRDD`; wide (shuffle) dependencies create
+:class:`ShuffledRDD`/:class:`CoGroupedRDD` boundaries where the scheduler
+cuts stages.
+
+Cost model: every operator charges the JVM per-record iterator overhead; the
+``cost`` keyword on transformations lets applications charge additional
+modelled CPU per record (e.g. regex parsing), keeping benchmark code
+explicit about where time goes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Any, Callable, Iterable
+
+from repro.errors import SparkError
+from repro.spark.partitioner import HashPartitioner, Partitioner, RangePartitioner
+from repro.spark.storage import StorageLevel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.spark.context import SparkContext
+    from repro.spark.scheduler import TaskContext
+
+
+class Dependency:
+    """Edge in the lineage graph."""
+
+    def __init__(self, parent: "RDD") -> None:
+        self.parent = parent
+
+
+class NarrowDependency(Dependency):
+    """Child partition ``i`` depends on parent partitions ``parents(i)``."""
+
+    def __init__(self, parent: "RDD",
+                 parents: Callable[[int], list[int]] | None = None) -> None:
+        super().__init__(parent)
+        self._parents = parents or (lambda i: [i])
+
+    def parent_partitions(self, index: int) -> list[int]:
+        return self._parents(index)
+
+
+class ShuffleDependency(Dependency):
+    """Child partitions depend on *all* parent partitions (a stage cut)."""
+
+    _shuffle_ids = itertools.count()
+
+    def __init__(self, parent: "RDD", partitioner: Partitioner) -> None:
+        super().__init__(parent)
+        self.partitioner = partitioner
+        self.shuffle_id = next(ShuffleDependency._shuffle_ids)
+        #: optional map-side transform applied before the shuffle write
+        #: (reduceByKey's combiner); set by the consuming ShuffledRDD
+        self.prepare: Callable[[list, "TaskContext"], list] | None = None
+
+
+class RDD:
+    """Base class: lineage bookkeeping + the full transformation/action API."""
+
+    def __init__(self, sc: "SparkContext", deps: list[Dependency],
+                 num_partitions: int) -> None:
+        self.sc = sc
+        self.deps = deps
+        self._num_partitions = num_partitions
+        self.id = sc._next_rdd_id()
+        self.storage_level: StorageLevel | None = None
+        #: partitions are written to reliable storage at first materialisation
+        self.is_checkpointed = False
+        #: set when the RDD's layout follows a known partitioner (enables
+        #: narrow joins — the Fig 6 BigDataBench optimisation)
+        self.partitioner: Partitioner | None = None
+
+    # -- to be provided by concrete RDDs ------------------------------------------
+
+    def compute(self, index: int, ctx: "TaskContext") -> list:
+        """Materialise partition ``index`` on an executor."""
+        raise NotImplementedError
+
+    def preferred_nodes(self, index: int) -> list[int]:
+        """Node ids where computing this partition is cheapest (locality)."""
+        return []
+
+    @property
+    def num_partitions(self) -> int:
+        return self._num_partitions
+
+    def _op_name(self) -> str:
+        return type(self).__name__.replace("RDD", "") or "RDD"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} id={self.id} parts={self.num_partitions}>"
+
+    # -- persistence ------------------------------------------------------------------
+
+    def persist(self, level: StorageLevel = StorageLevel.MEMORY_ONLY) -> "RDD":
+        """Keep materialised partitions in executor storage (Fig 5's call)."""
+        self.storage_level = level
+        return self
+
+    def cache(self) -> "RDD":
+        """``persist(MEMORY_ONLY)``."""
+        return self.persist(StorageLevel.MEMORY_ONLY)
+
+    def checkpoint(self) -> "RDD":
+        """Mark for checkpointing to reliable storage (``RDD.checkpoint``).
+
+        At the next materialisation each partition is written to replicated
+        storage; afterwards reads come from the checkpoint and the lineage
+        behind this RDD is never recomputed — even if every executor dies.
+        The complement of ``persist``: slower to hit, but survives executor
+        loss (the trade-off Section VI-D weighs against MPI-style
+        checkpointing, cf. :mod:`repro.mpi.checkpoint`).
+        """
+        self.is_checkpointed = True
+        return self
+
+    def unpersist(self) -> "RDD":
+        """Release cached partitions everywhere."""
+        self.storage_level = None
+        self.sc._unpersist(self.id)
+        return self
+
+    # -- narrow transformations ----------------------------------------------------------
+
+    def map_partitions(self, f: Callable[[int, list], list], *,
+                       preserves_partitioning: bool = False,
+                       cost: float = 0.0, name: str = "mapPartitions") -> "RDD":
+        """The primitive every narrow transformation lowers onto."""
+        return MapPartitionsRDD(self, f, preserves_partitioning, cost, name)
+
+    def map(self, f: Callable[[Any], Any], *, cost: float = 0.0) -> "RDD":
+        """Apply ``f`` to every record."""
+        return self.map_partitions(
+            lambda _i, it: [f(x) for x in it], cost=cost, name="map")
+
+    def flat_map(self, f: Callable[[Any], Iterable], *, cost: float = 0.0) -> "RDD":
+        """Apply ``f`` and flatten the results."""
+        return self.map_partitions(
+            lambda _i, it: [y for x in it for y in f(x)], cost=cost,
+            name="flatMap")
+
+    def filter(self, pred: Callable[[Any], bool], *, cost: float = 0.0) -> "RDD":
+        """Keep records satisfying ``pred``."""
+        return self.map_partitions(
+            lambda _i, it: [x for x in it if pred(x)], cost=cost, name="filter")
+
+    def map_values(self, f: Callable[[Any], Any], *, cost: float = 0.0) -> "RDD":
+        """Transform values of (k, v) pairs; *preserves partitioning*."""
+        return self.map_partitions(
+            lambda _i, it: [(k, f(v)) for k, v in it],
+            preserves_partitioning=True, cost=cost, name="mapValues")
+
+    def flat_map_values(self, f: Callable[[Any], Iterable], *,
+                        cost: float = 0.0) -> "RDD":
+        """Expand values of (k, v) pairs; preserves partitioning."""
+        return self.map_partitions(
+            lambda _i, it: [(k, w) for k, v in it for w in f(v)],
+            preserves_partitioning=True, cost=cost, name="flatMapValues")
+
+    def keys(self) -> "RDD":
+        """First elements of (k, v) pairs."""
+        return self.map_partitions(lambda _i, it: [k for k, _ in it], name="keys")
+
+    def values(self) -> "RDD":
+        """Second elements of (k, v) pairs."""
+        return self.map_partitions(lambda _i, it: [v for _, v in it], name="values")
+
+    def key_by(self, f: Callable[[Any], Any], *, cost: float = 0.0) -> "RDD":
+        """Pair every record with ``f(record)`` as its key."""
+        return self.map_partitions(
+            lambda _i, it: [(f(x), x) for x in it], cost=cost, name="keyBy")
+
+    def glom(self) -> "RDD":
+        """One list per partition."""
+        return self.map_partitions(lambda _i, it: [list(it)], name="glom")
+
+    def sample(self, fraction: float, seed: int = 17) -> "RDD":
+        """Deterministic Bernoulli sample (hash-based, reproducible)."""
+        from repro.spark.partitioner import stable_hash
+
+        if not 0.0 <= fraction <= 1.0:
+            raise SparkError(f"sample fraction must be in [0, 1]: {fraction}")
+        threshold = int(fraction * (2**31))
+
+        def body(i: int, it: list) -> list:
+            return [x for j, x in enumerate(it)
+                    if stable_hash((seed, i, j)) % (2**31) < threshold]
+
+        return self.map_partitions(body, name="sample")
+
+    def union(self, other: "RDD") -> "RDD":
+        """Concatenation of partitions (no shuffle)."""
+        return UnionRDD(self.sc, [self, other])
+
+    def zip_with_index(self) -> "RDD":
+        """Pair each record with its global index.
+
+        Like Spark, this triggers a small job to learn partition sizes.
+        """
+        counts = self.map_partitions(lambda _i, it: [len(it)], name="count").collect()
+        offsets = [0]
+        for c in counts[:-1]:
+            offsets.append(offsets[-1] + c)
+
+        def body(i: int, it: list) -> list:
+            return [(x, offsets[i] + j) for j, x in enumerate(it)]
+
+        return self.map_partitions(body, name="zipWithIndex")
+
+    def coalesce(self, num_partitions: int) -> "RDD":
+        """Reduce partition count without a shuffle."""
+        if num_partitions < 1:
+            raise SparkError("coalesce needs >= 1 partition")
+        return CoalescedRDD(self, min(num_partitions, self.num_partitions))
+
+    def repartition(self, num_partitions: int) -> "RDD":
+        """Change partition count via a full shuffle."""
+        marked = self.map_partitions(
+            lambda i, it: [(j, x) for j, x in enumerate(it)], name="pairUp")
+        shuffled = ShuffledRDD(marked, HashPartitioner(num_partitions))
+        return shuffled.map_partitions(
+            lambda _i, it: [v for _k, v in it], name="dropKeys")
+
+    # -- wide transformations ---------------------------------------------------------------
+
+    def partition_by(self, partitioner: Partitioner | int) -> "RDD":
+        """Repartition (k, v) pairs by a partitioner — the explicit layout
+        control the BigDataBench PageRank uses before persisting links."""
+        if isinstance(partitioner, int):
+            partitioner = HashPartitioner(partitioner)
+        if self.partitioner == partitioner:
+            return self
+        return ShuffledRDD(self, partitioner)
+
+    def combine_by_key(self, create: Callable, merge_value: Callable,
+                       merge_combiners: Callable,
+                       num_partitions: int | None = None, *,
+                       map_side_combine: bool = True) -> "RDD":
+        """The general keyed aggregation (Spark's ``combineByKey``)."""
+        part = HashPartitioner(num_partitions or self.num_partitions)
+        return ShuffledRDD(
+            self, part,
+            aggregator=(create, merge_value, merge_combiners),
+            map_side_combine=map_side_combine,
+        )
+
+    def reduce_by_key(self, f: Callable[[Any, Any], Any],
+                      num_partitions: int | None = None) -> "RDD":
+        """Merge values per key with map-side combining."""
+        return self.combine_by_key(lambda v: v, f, f, num_partitions)
+
+    def group_by_key(self, num_partitions: int | None = None) -> "RDD":
+        """All values per key (no map-side combine — same caveat as Spark)."""
+        return self.combine_by_key(
+            lambda v: [v],
+            lambda acc, v: acc + [v],
+            lambda a, b: a + b,
+            num_partitions,
+            map_side_combine=False,
+        )
+
+    def aggregate_by_key(self, zero: Any, seq: Callable, comb: Callable,
+                         num_partitions: int | None = None) -> "RDD":
+        """Keyed aggregation with a zero value."""
+        return self.combine_by_key(
+            lambda v: seq(zero, v), seq, comb, num_partitions)
+
+    def distinct(self, num_partitions: int | None = None) -> "RDD":
+        """Deduplicate via a keyed shuffle."""
+        return (
+            self.map(lambda x: (x, None))
+            .reduce_by_key(lambda a, _b: a, num_partitions)
+            .keys()
+        )
+
+    def cogroup(self, other: "RDD", num_partitions: int | None = None) -> "RDD":
+        """``(k, (values_self, values_other))`` — narrow when co-partitioned."""
+        part = HashPartitioner(num_partitions or max(self.num_partitions,
+                                                     other.num_partitions))
+        return CoGroupedRDD(self.sc, [self, other], part)
+
+    def join(self, other: "RDD", num_partitions: int | None = None) -> "RDD":
+        """Inner join; a narrow operation when both sides share the target
+        partitioner (the mechanism behind Fig 6's shuffle avoidance)."""
+        return self.cogroup(other, num_partitions).map_partitions(
+            lambda _i, it: [
+                (k, (v, w)) for k, (vs, ws) in it for v in vs for w in ws
+            ],
+            preserves_partitioning=True,
+            name="join",
+        )
+
+    def left_outer_join(self, other: "RDD",
+                        num_partitions: int | None = None) -> "RDD":
+        """Left outer join (missing right values become ``None``)."""
+        return self.cogroup(other, num_partitions).map_partitions(
+            lambda _i, it: [
+                (k, (v, w))
+                for k, (vs, ws) in it
+                for v in vs
+                for w in (ws if ws else [None])
+            ],
+            preserves_partitioning=True,
+            name="leftOuterJoin",
+        )
+
+    def subtract_by_key(self, other: "RDD",
+                        num_partitions: int | None = None) -> "RDD":
+        """Pairs whose key does not appear in ``other``."""
+        return self.cogroup(other, num_partitions).map_partitions(
+            lambda _i, it: [
+                (k, v) for k, (vs, ws) in it if not ws for v in vs
+            ],
+            preserves_partitioning=True,
+            name="subtractByKey",
+        )
+
+    def sort_by(self, key_fn: Callable[[Any], Any], ascending: bool = True,
+                num_partitions: int | None = None) -> "RDD":
+        """Total sort: sample keys, range-partition, sort within partitions."""
+        n = num_partitions or self.num_partitions
+        keyed = self.key_by(key_fn)
+        if n == 1:
+            bounds: list = []
+        else:
+            sample = keyed.keys().sample(min(1.0, 20.0 * n / max(1, self._rough_count()))).collect()
+            sample.sort()
+            if not sample:
+                bounds = []
+            else:
+                step = max(1, len(sample) // n)
+                bounds = sample[step::step][: n - 1]
+        part = RangePartitioner(bounds, ascending)
+        return ShuffledRDD(keyed, part).map_partitions(
+            lambda _i, it: [v for _k, v in sorted(it, key=lambda kv: kv[0],
+                                                  reverse=not ascending)],
+            name="sortBy",
+        )
+
+    def _rough_count(self) -> int:
+        """Cheap upper estimate used only to pick a sort sample fraction."""
+        return max(1000, self.num_partitions * 1000)
+
+    # -- actions ------------------------------------------------------------------------------
+
+    def collect(self) -> list:
+        """All records, in partition order, at the driver."""
+        parts = self.sc._scheduler.run_job(self, lambda _i, it: list(it))
+        return [x for p in parts for x in p]
+
+    def count(self) -> int:
+        """Number of records."""
+        return sum(self.sc._scheduler.run_job(self, lambda _i, it: len(it)))
+
+    def reduce(self, f: Callable[[Any, Any], Any]) -> Any:
+        """Combine all records (the paper's reduce microbenchmark action)."""
+        def per_partition(_i: int, it: list) -> Any:
+            acc = _MISSING
+            for x in it:
+                acc = x if acc is _MISSING else f(acc, x)
+            return acc
+
+        parts = [p for p in self.sc._scheduler.run_job(self, per_partition)
+                 if p is not _MISSING]
+        if not parts:
+            raise SparkError("reduce() of empty RDD")
+        acc = parts[0]
+        for x in parts[1:]:
+            acc = f(acc, x)
+        return acc
+
+    def fold(self, zero: Any, f: Callable[[Any, Any], Any]) -> Any:
+        """Like reduce with a zero element (applied per partition + driver)."""
+        parts = self.sc._scheduler.run_job(
+            self, lambda _i, it: _fold_list(zero, f, it))
+        acc = zero
+        for p in parts:
+            acc = f(acc, p)
+        return acc
+
+    def aggregate(self, zero: Any, seq: Callable, comb: Callable) -> Any:
+        """Generalised fold with distinct within/between partition ops."""
+        parts = self.sc._scheduler.run_job(
+            self, lambda _i, it: _fold_list(zero, seq, it))
+        acc = zero
+        for p in parts:
+            acc = comb(acc, p)
+        return acc
+
+    def sum(self) -> Any:
+        """Sum of records."""
+        return self.fold(0, lambda a, b: a + b)
+
+    def mean(self) -> float:
+        """Arithmetic mean of records."""
+        total, n = self.aggregate(
+            (0.0, 0),
+            lambda acc, x: (acc[0] + x, acc[1] + 1),
+            lambda a, b: (a[0] + b[0], a[1] + b[1]),
+        )
+        if n == 0:
+            raise SparkError("mean() of empty RDD")
+        return total / n
+
+    def min(self) -> Any:
+        return self.reduce(lambda a, b: b if b < a else a)
+
+    def max(self) -> Any:
+        return self.reduce(lambda a, b: b if b > a else a)
+
+    def first(self) -> Any:
+        """First record (scans partitions incrementally, like Spark's take)."""
+        got = self.take(1)
+        if not got:
+            raise SparkError("first() of empty RDD")
+        return got[0]
+
+    def take(self, n: int) -> list:
+        """First ``n`` records, running jobs over as few partitions as needed."""
+        out: list = []
+        for i in range(self.num_partitions):
+            if len(out) >= n:
+                break
+            part = self.sc._scheduler.run_job(
+                self, lambda _i, it: list(it), partitions=[i])
+            out.extend(part[0])
+        return out[:n]
+
+    def take_ordered(self, n: int, key: Callable[[Any], Any] | None = None) -> list:
+        """Smallest ``n`` records (per-partition heaps merged at the driver)."""
+        import heapq
+
+        parts = self.sc._scheduler.run_job(
+            self, lambda _i, it: heapq.nsmallest(n, it, key=key))
+        return heapq.nsmallest(n, [x for p in parts for x in p], key=key)
+
+    def top(self, n: int, key: Callable[[Any], Any] | None = None) -> list:
+        """Largest ``n`` records."""
+        import heapq
+
+        parts = self.sc._scheduler.run_job(
+            self, lambda _i, it: heapq.nlargest(n, it, key=key))
+        return heapq.nlargest(n, [x for p in parts for x in p], key=key)
+
+    def stats(self) -> "Stats":
+        """Count/mean/min/max/stdev in one pass (``DoubleRDDFunctions``)."""
+        def seq(acc, x):
+            n, s, s2, mn, mx = acc
+            return (n + 1, s + x, s2 + x * x,
+                    x if mn is None or x < mn else mn,
+                    x if mx is None or x > mx else mx)
+
+        def comb(a, b):
+            mn = a[3] if b[3] is None else (b[3] if a[3] is None else min(a[3], b[3]))
+            mx = a[4] if b[4] is None else (b[4] if a[4] is None else max(a[4], b[4]))
+            return (a[0] + b[0], a[1] + b[1], a[2] + b[2], mn, mx)
+
+        n, s, s2, mn, mx = self.aggregate((0, 0.0, 0.0, None, None), seq, comb)
+        if n == 0:
+            raise SparkError("stats() of empty RDD")
+        mean = s / n
+        variance = max(0.0, s2 / n - mean * mean)
+        return Stats(count=n, mean=mean, stdev=variance ** 0.5,
+                     minimum=mn, maximum=mx)
+
+    def count_by_key(self) -> dict:
+        """Counts per key, returned to the driver as a dict."""
+        parts = self.sc._scheduler.run_job(self, _count_keys)
+        out: dict = {}
+        for p in parts:
+            for k, c in p.items():
+                out[k] = out.get(k, 0) + c
+        return out
+
+    def count_by_value(self) -> dict:
+        """Counts per record value."""
+        return self.map(lambda x: (x, None)).count_by_key()
+
+    def collect_as_map(self) -> dict:
+        """Collect (k, v) pairs into a driver-side dict (last write wins)."""
+        return dict(self.collect())
+
+    def foreach(self, f: Callable[[Any], None]) -> None:
+        """Run ``f`` on every record on the executors (for accumulators)."""
+        self.sc._scheduler.run_job(
+            self, lambda _i, it: [f(x) for x in it] and None)
+
+    def save_as_text_file(self, url: str) -> None:
+        """Write one output file per partition to ``scheme://path``.
+
+        The payload itself is not retained (benchmark outputs are verified
+        at the application level); the I/O cost is charged faithfully,
+        including HDFS replication when the target is ``hdfs://``.
+        """
+        scheme, _, path = url.partition("://")
+        if not path:
+            raise SparkError(f"save_as_text_file needs scheme://path, got {url!r}")
+
+        from repro.spark.shuffle import estimate_nbytes
+
+        def write_part(i: int, it: list) -> int:
+            from repro.sim.engine import current_process
+
+            fs = self.sc.cluster.filesystems[scheme]
+            nbytes = estimate_nbytes(list(it))
+            fs.write(current_process(), f"{path}/part-{i:05d}", max(1, nbytes))
+            return nbytes
+
+        self.sc._scheduler.run_job(self, write_part)
+
+    # -- introspection ----------------------------------------------------------------------------
+
+    def to_debug_string(self) -> str:
+        """Lineage dump, Spark-style (indent = one dependency level)."""
+        lines: list[str] = []
+
+        def walk(rdd: "RDD", depth: int) -> None:
+            marker = "*" if rdd.storage_level else " "
+            lines.append(
+                f"{'  ' * depth}({rdd.num_partitions}){marker} "
+                f"{rdd._op_name()} [id={rdd.id}]"
+            )
+            for dep in rdd.deps:
+                walk(dep.parent, depth + 1)
+
+        walk(self, 0)
+        return "\n".join(lines)
+
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Stats:
+    """One-pass numeric summary returned by :meth:`RDD.stats`."""
+
+    count: int
+    mean: float
+    stdev: float
+    minimum: float
+    maximum: float
+
+
+_MISSING = object()
+
+
+def _fold_list(zero: Any, f: Callable, it: list) -> Any:
+    acc = zero
+    for x in it:
+        acc = f(acc, x)
+    return acc
+
+
+def _count_keys(_i: int, it: list) -> dict:
+    out: dict = {}
+    for k, _v in it:
+        out[k] = out.get(k, 0) + 1
+    return out
+
+
+# ---------------------------------------------------------------------------
+# concrete RDDs
+# ---------------------------------------------------------------------------
+
+
+class ParallelizeRDD(RDD):
+    """Driver-local data sliced into partitions (``sc.parallelize``).
+
+    The slices are shipped inside the task closures, so dispatching tasks
+    charges the driver for serialising and sending the data — the cost the
+    paper's Fig 3 discussion attributes to "the use of the driver program
+    ... to ensure completion and success of data distribution".
+    """
+
+    def __init__(self, sc: "SparkContext", data: list, num_partitions: int) -> None:
+        super().__init__(sc, [], num_partitions)
+        self._slices: list[list] = [[] for _ in range(num_partitions)]
+        n = len(data)
+        for i in range(num_partitions):
+            start = (i * n) // num_partitions
+            end = ((i + 1) * n) // num_partitions
+            self._slices[i] = list(data[start:end])
+
+    def compute(self, index: int, ctx: "TaskContext") -> list:
+        ctx.charge_records(len(self._slices[index]))
+        return list(self._slices[index])
+
+    def closure_payload(self, index: int) -> list:
+        """Data shipped with the task (sized by the scheduler)."""
+        return self._slices[index]
+
+    def _op_name(self) -> str:
+        return "Parallelize"
+
+
+class TextFileRDD(RDD):
+    """Lines of a simulated file; partitions follow HDFS blocks (locality!)
+    or an even byte split for local/NFS files."""
+
+    def __init__(self, sc: "SparkContext", scheme: str, path: str,
+                 min_partitions: int | None = None) -> None:
+        fs = sc.cluster.filesystems.get(scheme)
+        if fs is None:
+            raise SparkError(f"no filesystem mounted for scheme {scheme!r}")
+        self.fs = fs
+        self.path = path
+        size = fs.size(path)
+        from repro.fs.hdfs import HDFS
+
+        if isinstance(fs, HDFS):
+            locs = fs.block_locations(path)
+            # Hadoop's FileInputFormat: when minPartitions exceeds the block
+            # count, blocks are subdivided (splits inherit block locality).
+            pieces = 1
+            if min_partitions and len(locs) < min_partitions:
+                pieces = -(-min_partitions // len(locs))
+            self._splits = []
+            self._preferred = []
+            for s, e, nodes in locs:
+                step = -(-(e - s) // pieces)
+                for off in range(s, e, max(1, step)):
+                    self._splits.append((off, min(e, off + step)))
+                    self._preferred.append(nodes)
+        else:
+            n = min_partitions or sc.default_parallelism
+            chunk = -(-size // n) if size else 1
+            self._splits = [
+                (i * chunk, min(size, (i + 1) * chunk))
+                for i in range(n)
+                if i * chunk < size or (size == 0 and i == 0)
+            ]
+            self._preferred = [[] for _ in self._splits]
+        super().__init__(sc, [], max(1, len(self._splits)))
+
+    def compute(self, index: int, ctx: "TaskContext") -> list:
+        from repro.fs.records import read_split_records
+
+        start, end = self._splits[index]
+        raw = read_split_records(self.fs, ctx.proc, self.path, start, end)
+        ctx.charge_records(len(raw))
+        # decode cost is part of the JVM text-parsing rate
+        ctx.charge_bytes(max(1, end - start), ctx.costs.parse_rate_jvm)
+        return [r.decode("utf-8", errors="replace") for r in raw]
+
+    def preferred_nodes(self, index: int) -> list[int]:
+        return list(self._preferred[index])
+
+    def _op_name(self) -> str:
+        return f"TextFile({self.path})"
+
+
+class MapPartitionsRDD(RDD):
+    """Narrow one-to-one transformation (map/filter/flatMap/... lower here)."""
+
+    def __init__(self, parent: RDD, f: Callable[[int, list], list],
+                 preserves_partitioning: bool, cost: float, name: str) -> None:
+        super().__init__(parent.sc, [NarrowDependency(parent)],
+                         parent.num_partitions)
+        self.f = f
+        self.cost_per_record = cost
+        self.name = name
+        if preserves_partitioning:
+            self.partitioner = parent.partitioner
+
+    def compute(self, index: int, ctx: "TaskContext") -> list:
+        parent = self.deps[0].parent
+        records = ctx.iterator(parent, index)
+        ctx.charge_records(len(records), extra=self.cost_per_record)
+        return self.f(index, records)
+
+    def _op_name(self) -> str:
+        return self.name
+
+
+class UnionRDD(RDD):
+    """Concatenated partitions of several parents."""
+
+    def __init__(self, sc: "SparkContext", parents: list[RDD]) -> None:
+        self._map: list[tuple[RDD, int]] = []
+        deps = []
+        offset = 0
+        for p in parents:
+            k = p.num_partitions
+
+            def parent_parts(i: int, off: int = offset, k: int = k) -> list[int]:
+                return [i - off] if off <= i < off + k else []
+
+            deps.append(NarrowDependency(p, parent_parts))
+            for i in range(k):
+                self._map.append((p, i))
+            offset += k
+        super().__init__(sc, deps, len(self._map))
+
+    def compute(self, index: int, ctx: "TaskContext") -> list:
+        parent, pindex = self._map[index]
+        return list(ctx.iterator(parent, pindex))
+
+    def preferred_nodes(self, index: int) -> list[int]:
+        parent, pindex = self._map[index]
+        return parent.preferred_nodes(pindex)
+
+    def _op_name(self) -> str:
+        return "Union"
+
+
+class CoalescedRDD(RDD):
+    """Groups of parent partitions, computed without a shuffle."""
+
+    def __init__(self, parent: RDD, num_partitions: int) -> None:
+        self._groups: list[list[int]] = [[] for _ in range(num_partitions)]
+        for i in range(parent.num_partitions):
+            self._groups[i % num_partitions].append(i)
+
+        def parents(i: int) -> list[int]:
+            return self._groups[i]
+
+        super().__init__(parent.sc, [NarrowDependency(parent, parents)],
+                         num_partitions)
+
+    def compute(self, index: int, ctx: "TaskContext") -> list:
+        parent = self.deps[0].parent
+        out: list = []
+        for pindex in self._groups[index]:
+            out.extend(ctx.iterator(parent, pindex))
+        return out
+
+    def _op_name(self) -> str:
+        return "Coalesce"
+
+
+class ShuffledRDD(RDD):
+    """Post-shuffle dataset, optionally aggregating (reduceByKey et al.)."""
+
+    def __init__(self, parent: RDD, partitioner: Partitioner,
+                 aggregator: tuple[Callable, Callable, Callable] | None = None,
+                 map_side_combine: bool = False) -> None:
+        dep = ShuffleDependency(parent, partitioner)
+        super().__init__(parent.sc, [dep], partitioner.num_partitions)
+        self.partitioner = partitioner
+        self.aggregator = aggregator
+        self.map_side_combine = map_side_combine and aggregator is not None
+        if self.map_side_combine:
+            dep.prepare = self.map_side_prepare
+
+    @property
+    def shuffle_dep(self) -> ShuffleDependency:
+        return self.deps[0]  # type: ignore[return-value]
+
+    def compute(self, index: int, ctx: "TaskContext") -> list:
+        records = ctx.shuffle_read(
+            self.shuffle_dep.shuffle_id, index,
+            self.shuffle_dep.parent.num_partitions,
+        )
+        if self.aggregator is None:
+            return records
+        create, merge_value, merge_combiners = self.aggregator
+        out: dict = {}
+        for k, v in records:
+            if self.map_side_combine:
+                # values arriving are already combiners
+                out[k] = merge_combiners(out[k], v) if k in out else v
+            else:
+                out[k] = merge_value(out[k], v) if k in out else create(v)
+        ctx.charge_records(len(records))
+        return list(out.items())
+
+    def map_side_prepare(self, records: list, ctx: "TaskContext") -> list:
+        """Map-side combine before the shuffle write (reduceByKey)."""
+        if not self.map_side_combine:
+            return records
+        create, merge_value, _mc = self.aggregator  # type: ignore[misc]
+        out: dict = {}
+        try:
+            for k, v in records:
+                out[k] = merge_value(out[k], v) if k in out else create(v)
+        except TypeError as exc:
+            raise SparkError(
+                f"keyed operation over non-pair records: {exc}"
+            ) from exc
+        ctx.charge_records(len(records))
+        return list(out.items())
+
+    def _op_name(self) -> str:
+        return "Shuffled" + ("+combine" if self.aggregator else "")
+
+
+class CoGroupedRDD(RDD):
+    """Groups values of several keyed parents by key.
+
+    For each parent: if it is already partitioned by the target partitioner,
+    the dependency is **narrow** (read the co-located partition directly —
+    no data moves); otherwise it is a shuffle.  This is exactly how Spark
+    decides, and it is the mechanism the tuned PageRank exploits.
+    """
+
+    def __init__(self, sc: "SparkContext", parents: list[RDD],
+                 partitioner: Partitioner) -> None:
+        deps: list[Dependency] = []
+        for p in parents:
+            if p.partitioner == partitioner:
+                deps.append(NarrowDependency(p))
+            else:
+                deps.append(ShuffleDependency(p, partitioner))
+        super().__init__(sc, deps, partitioner.num_partitions)
+        self.partitioner = partitioner
+
+    def compute(self, index: int, ctx: "TaskContext") -> list:
+        groups: dict[Any, tuple[list, ...]] = {}
+        nsides = len(self.deps)
+        for side, dep in enumerate(self.deps):
+            if isinstance(dep, ShuffleDependency):
+                records = ctx.shuffle_read(
+                    dep.shuffle_id, index, dep.parent.num_partitions)
+            else:
+                records = ctx.iterator(dep.parent, index)
+            for k, v in records:
+                if k not in groups:
+                    groups[k] = tuple([] for _ in range(nsides))
+                groups[k][side].append(v)
+        ctx.charge_records(sum(len(g[0]) + len(g[1]) for g in groups.values())
+                           if nsides == 2 else len(groups))
+        return list(groups.items())
+
+    def _op_name(self) -> str:
+        kinds = ["narrow" if isinstance(d, NarrowDependency) else "shuffle"
+                 for d in self.deps]
+        return f"CoGroup[{','.join(kinds)}]"

@@ -1,0 +1,187 @@
+"""Shuffle: map-side bucket writes, reduce-side fetches, two transports.
+
+Spark 1.5's hash shuffle, as the paper ran it:
+
+* a **map task** partitions its output records by the shuffle's partitioner,
+  serialises each bucket (JVM serialisation rate) and writes it to the
+  node-local disk, then registers the bucket sizes with the driver-side
+  map-output tracker;
+* a **reduce task** asks the tracker where the buckets live and fetches one
+  from every map task — local buckets come off the disk, remote ones over
+  the network.
+
+The transport is pluggable, mirroring Lu et al.'s RDMA-Spark (paper
+Section VII): ``"socket"`` sends buckets over IPoIB with per-message CPU and
+copy costs; ``"rdma"`` moves *shuffle payloads only* over the native
+InfiniBand verbs path.  Orchestration stays on sockets in both cases —
+exactly why RDMA gains nothing in Fig 3/Fig 6 and wins in Fig 7.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.errors import SparkError
+from repro.mpi.datatypes import nbytes_of
+from repro.sim.process import SimProcess
+
+#: transport name -> fabric name on the cluster
+TRANSPORT_FABRICS = {"socket": "ipoib", "rdma": "ib-fdr-rdma"}
+
+#: sample size for record-size estimation
+_SAMPLE = 20
+
+
+def estimate_nbytes(records: list) -> int:
+    """Estimated serialised size of a record batch (sampled).
+
+    Exact for small batches; for large ones the mean size of a sample is
+    extrapolated — the same trick Spark's SizeEstimator uses.
+    """
+    n = len(records)
+    if n == 0:
+        return 0
+    if n <= _SAMPLE:
+        return sum(nbytes_of(r) for r in records) + 8 * n
+    step = max(1, n // _SAMPLE)
+    sample = records[::step][:_SAMPLE]
+    mean = sum(nbytes_of(r) for r in sample) / len(sample)
+    return int((mean + 8) * n)
+
+
+class MapOutputTracker:
+    """Driver-side registry of where every shuffle bucket lives."""
+
+    def __init__(self) -> None:
+        #: (shuffle_id, map_id) -> (executor_id, [bucket_nbytes per reduce])
+        self._outputs: dict[tuple[int, int], tuple[int, list[int]]] = {}
+        #: actual bucket payloads: (shuffle_id, map_id, reduce_id) -> records
+        self._data: dict[tuple[int, int, int], list] = {}
+
+    def register(self, shuffle_id: int, map_id: int, executor_id: int,
+                 sizes: list[int], buckets: dict[int, list]) -> None:
+        self._outputs[(shuffle_id, map_id)] = (executor_id, sizes)
+        for reduce_id, records in buckets.items():
+            self._data[(shuffle_id, map_id, reduce_id)] = records
+
+    def unregister_executor(self, shuffle_ids: Iterable[int], executor_id: int) -> list[tuple[int, int]]:
+        """Drop all outputs an executor held; returns the lost (shuffle, map) pairs."""
+        lost = [
+            key for key, (ex, _s) in self._outputs.items()
+            if ex == executor_id
+        ]
+        for key in lost:
+            del self._outputs[key]
+            shuffle_id, map_id = key
+            for k in [k for k in self._data if k[0] == shuffle_id and k[1] == map_id]:
+                del self._data[k]
+        return lost
+
+    def outputs_for(self, shuffle_id: int, n_maps: int) -> list[tuple[int, int, int]]:
+        """``(map_id, executor_id, nbytes)`` for one reduce partition's fetch
+        plan; raises if any map output is missing (triggers stage rerun)."""
+        plan = []
+        for map_id in range(n_maps):
+            entry = self._outputs.get((shuffle_id, map_id))
+            if entry is None:
+                raise SparkError(
+                    f"missing map output: shuffle {shuffle_id} map {map_id}"
+                )
+            plan.append((map_id, entry[0], 0))
+        return plan
+
+    def missing_maps(self, shuffle_id: int, n_maps: int) -> list[int]:
+        return [
+            m for m in range(n_maps) if (shuffle_id, m) not in self._outputs
+        ]
+
+    def bucket(self, shuffle_id: int, map_id: int, reduce_id: int) -> tuple[int, int, list]:
+        """``(executor_id, nbytes, records)`` of one bucket."""
+        ex, sizes = self._outputs[(shuffle_id, map_id)]
+        records = self._data.get((shuffle_id, map_id, reduce_id), [])
+        return ex, sizes[reduce_id], records
+
+
+class ShuffleWriter:
+    """Map-side shuffle output (executor-side)."""
+
+    def __init__(self, env: "Any") -> None:  # env: spark context runtime env
+        self.env = env
+
+    def write(self, proc: SimProcess, executor: "Any", shuffle_id: int,
+              map_id: int, partitioner: "Any", records: list) -> None:
+        """Partition ``records`` into buckets, spill to local disk, register."""
+        costs = self.env.costs
+        buckets: dict[int, list] = {}
+        for rec in records:
+            try:
+                key = rec[0]
+            except (TypeError, IndexError):
+                raise SparkError(
+                    f"shuffle input must be (key, value) pairs; got {rec!r}"
+                ) from None
+            buckets.setdefault(partitioner.partition(key), []).append(rec)
+        scale = self.env.record_scale
+        proc.compute(len(records) * scale * costs.spark_record_overhead)
+        sizes = [0] * partitioner.num_partitions
+        total = 0
+        for reduce_id, bucket in buckets.items():
+            nbytes = estimate_nbytes(bucket) * scale
+            sizes[reduce_id] = nbytes
+            total += nbytes
+        proc.compute_bytes(max(1, total), costs.ser_rate_jvm)  # serialise
+        # Shuffle files land in the OS page cache (Spark 1.5 writes them
+        # without sync); charge the memory-system stream, not the SSD.
+        executor.node.stream_bytes(proc, max(1, total), label="shuffle.write")
+        self.env.tracker.register(shuffle_id, map_id, executor.executor_id,
+                                  sizes, buckets)
+
+
+class ShuffleReader:
+    """Reduce-side shuffle input (executor-side)."""
+
+    def __init__(self, env: "Any") -> None:
+        self.env = env
+
+    def read(self, proc: SimProcess, executor: "Any", shuffle_id: int,
+             reduce_id: int, n_maps: int) -> list:
+        """Fetch this reduce partition's bucket from every map output."""
+        costs = self.env.costs
+        transport = self.env.shuffle_transport
+        fabric = TRANSPORT_FABRICS[transport]
+        fetch_overhead = (costs.spark_shuffle_fetch_overhead
+                          if transport == "socket"
+                          else costs.spark_shuffle_fetch_overhead_rdma)
+        # Fetches are batched per source node (as Netty/SEDA engines do):
+        # one wire transfer per (reducer, remote node), so transfers stay
+        # bulk-sized and contend for the NICs realistically.
+        per_node: dict[int, int] = {}
+        out: list = []
+        total = 0
+        for map_id in range(n_maps):
+            src_executor, nbytes, records = self.env.tracker.bucket(
+                shuffle_id, map_id, reduce_id
+            )
+            proc.compute(fetch_overhead)
+            src_node = self.env.executors[src_executor].node
+            per_node[src_node.id] = per_node.get(src_node.id, 0) + nbytes
+            total += nbytes
+            out.extend(records)
+        for src_id in sorted(per_node):
+            nbytes = max(1, per_node[src_id])
+            if src_id == executor.node.id:
+                # buckets are in the node's page cache: memory-speed copy,
+                # no socket path involved
+                executor.node.stream_bytes(proc, nbytes, label="shuffle.local")
+            else:
+                self.env.cluster.network.transmit(
+                    proc, fabric, src_id, executor.node.id, nbytes,
+                    label=f"shuffle:{shuffle_id}->{reduce_id}",
+                )
+                # transport CPU path: JVM sockets vs RDMA zero-copy
+                rate = (costs.spark_shuffle_socket_rate
+                        if transport == "socket"
+                        else costs.spark_shuffle_rdma_rate)
+                proc.compute_bytes(nbytes, rate)
+        proc.compute_bytes(max(1, total), costs.ser_rate_jvm)  # deserialise
+        return out

@@ -1,0 +1,110 @@
+"""Size and time units: constants, parsing and pretty-printing.
+
+The simulator works in **bytes** and **seconds** everywhere; these helpers
+exist so that specs, calibration constants and reports stay readable.
+"""
+
+from __future__ import annotations
+
+import re
+
+# ---------------------------------------------------------------------------
+# byte-size constants
+# ---------------------------------------------------------------------------
+
+KB = 10**3
+MB = 10**6
+GB = 10**9
+TB = 10**12
+
+KiB = 2**10
+MiB = 2**20
+GiB = 2**30
+TiB = 2**40
+
+#: Largest value representable by a C ``int`` — the MPI-IO chunk limit
+#: discussed in Section V-C of the paper.
+INT_MAX = 2**31 - 1
+
+# ---------------------------------------------------------------------------
+# time constants (seconds)
+# ---------------------------------------------------------------------------
+
+US = 1e-6
+MS = 1e-3
+MINUTE = 60.0
+
+_SIZE_RE = re.compile(
+    r"^\s*(?P<num>\d+(?:\.\d+)?)\s*(?P<unit>[KMGT]i?B|B)?\s*$", re.IGNORECASE
+)
+
+_SIZE_UNITS = {
+    "b": 1,
+    "kb": KB, "mb": MB, "gb": GB, "tb": TB,
+    "kib": KiB, "mib": MiB, "gib": GiB, "tib": TiB,
+}
+
+
+def parse_size(text: str | int | float) -> int:
+    """Parse ``"80GB"``, ``"128 MiB"``, ``1024`` ... into a byte count.
+
+    Decimal units (KB/MB/GB/TB) are powers of 10, binary units (KiB/MiB/...)
+    powers of 2, matching common storage-vendor vs memory conventions.
+
+    >>> parse_size("8GB")
+    8000000000
+    >>> parse_size("128MiB")
+    134217728
+    """
+    if isinstance(text, (int, float)):
+        if text < 0:
+            raise ValueError(f"negative size: {text!r}")
+        return int(text)
+    m = _SIZE_RE.match(text)
+    if not m:
+        raise ValueError(f"cannot parse size: {text!r}")
+    num = float(m.group("num"))
+    unit = (m.group("unit") or "B").lower()
+    return int(num * _SIZE_UNITS[unit])
+
+
+def fmt_bytes(n: float) -> str:
+    """Render a byte count with a human unit (decimal).
+
+    >>> fmt_bytes(80_000_000_000)
+    '80.0 GB'
+    """
+    n = float(n)
+    for unit, factor in (("TB", TB), ("GB", GB), ("MB", MB), ("KB", KB)):
+        if abs(n) >= factor:
+            return f"{n / factor:.1f} {unit}"
+    return f"{n:.0f} B"
+
+
+def fmt_seconds(t: float) -> str:
+    """Render a duration with an adaptive unit.
+
+    >>> fmt_seconds(0.0000021)
+    '2.10 us'
+    >>> fmt_seconds(46.751)
+    '46.75 s'
+    """
+    a = abs(t)
+    if a >= MINUTE:
+        return f"{t / MINUTE:.2f} min"
+    if a >= 1.0:
+        return f"{t:.2f} s"
+    if a >= MS:
+        return f"{t / MS:.2f} ms"
+    if a >= US:
+        return f"{t / US:.2f} us"
+    return f"{t * 1e9:.2f} ns"
+
+
+def fmt_rate(bytes_per_s: float) -> str:
+    """Render a bandwidth (bytes/second) with a human unit.
+
+    >>> fmt_rate(6.8e9)
+    '6.8 GB/s'
+    """
+    return fmt_bytes(bytes_per_s).replace(" ", " ").rstrip() + "/s"

@@ -1,0 +1,31 @@
+"""Synthetic workload generators standing in for the paper's datasets.
+
+The paper uses a StackExchange question/answer text dump (~80 GB) and
+BigDataBench/HiBench PageRank graphs (1 M vertices).  Neither is available
+offline, so these generators produce deterministic synthetic equivalents
+whose *structure* matches what the benchmarks exercise: record layout and
+bytes-per-record for the text workload, degree skew for the graphs.  See
+DESIGN.md §2 for the substitution rationale.
+"""
+
+from repro.workloads.graphs import GraphSpec, powerlaw_digraph, uniform_digraph
+from repro.workloads.stackexchange import (
+    POST_ANSWER,
+    POST_QUESTION,
+    StackExchangeSpec,
+    parse_post,
+    se_line,
+    stackexchange_content,
+)
+
+__all__ = [
+    "StackExchangeSpec",
+    "stackexchange_content",
+    "se_line",
+    "parse_post",
+    "POST_QUESTION",
+    "POST_ANSWER",
+    "GraphSpec",
+    "powerlaw_digraph",
+    "uniform_digraph",
+]

@@ -1,0 +1,22 @@
+"""Docstring examples stay runnable (they are the first thing users copy)."""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro.cluster.cluster
+import repro.sim.engine
+import repro.units
+
+
+@pytest.mark.parametrize("module", [
+    repro.units,
+    repro.cluster.cluster,
+    repro.sim.engine,
+])
+def test_module_doctests(module):
+    result = doctest.testmod(module)
+    assert result.failed == 0, f"{module.__name__}: {result.failed} doctest failures"
+    assert result.attempted > 0, f"{module.__name__}: no doctests found"

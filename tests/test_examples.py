@@ -1,0 +1,44 @@
+"""Every example script runs end-to-end (stdout captured by pytest)."""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str) -> None:
+    path = EXAMPLES / name
+    spec = importlib.util.spec_from_file_location(f"example_{name[:-3]}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+
+
+@pytest.mark.parametrize("script", [
+    "quickstart.py",
+    "reduce_microbenchmark.py",
+    "answerscount_comparison.py",
+    "pagerank_showdown.py",
+    "fault_tolerance_demo.py",
+    "profile_shuffle.py",
+])
+def test_example_runs(script):
+    run_example(script)
+
+
+def test_examples_directory_is_covered():
+    """Every example script in the directory is exercised above."""
+    present = {p.name for p in EXAMPLES.glob("*.py")}
+    covered = {"quickstart.py", "reduce_microbenchmark.py",
+               "answerscount_comparison.py", "pagerank_showdown.py",
+               "fault_tolerance_demo.py", "profile_shuffle.py"}
+    assert present == covered

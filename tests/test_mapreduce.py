@@ -1,0 +1,188 @@
+"""MapReduce engine: correctness, combiner, locality, retries, costs."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Cluster
+from repro.cluster.spec import TESTING
+from repro.errors import SimProcessError, TaskFailedError
+from repro.fs import HDFS, LineContent, LocalFS, NFSFileSystem
+from repro.mapreduce import JobConf, run_job
+
+
+def wordcount_conf(**kw):
+    kw.setdefault("name", "wordcount")
+    kw.setdefault("input_url", "hdfs://corpus.txt")
+    kw.setdefault("mapper", lambda line: [(w, 1) for w in line.split()])
+    kw.setdefault("reducer", lambda k, vs: [(k, sum(vs))])
+    kw.setdefault("num_reduces", 3)
+    return JobConf(**kw)
+
+
+def make_cluster(lines=300, block_size=2000, nodes=2, line_fn=None):
+    cl = Cluster(TESTING.with_nodes(nodes))
+    h = HDFS(cl, block_size=block_size, replication=2)
+    line_fn = line_fn or (lambda i: f"alpha beta gamma{i % 4}")
+    h.create("corpus.txt", LineContent(line_fn, lines))
+    return cl, h
+
+
+class TestCorrectness:
+    def test_wordcount_matches_reference(self):
+        cl, _ = make_cluster()
+        res = run_job(cl, wordcount_conf())
+        counts = dict(res.output)
+        assert counts["alpha"] == 300
+        assert counts["beta"] == 300
+        assert counts["gamma0"] == 75
+
+    def test_single_reduce(self):
+        cl, _ = make_cluster(lines=50)
+        res = run_job(cl, wordcount_conf(num_reduces=1))
+        assert dict(res.output)["alpha"] == 50
+
+    def test_many_reduces_partition_all_keys(self):
+        cl, _ = make_cluster()
+        res = run_job(cl, wordcount_conf(num_reduces=7))
+        assert sum(v for k, v in res.output) == 300 * 3
+
+    @given(nlines=st.integers(1, 120), nred=st.integers(1, 5))
+    @settings(max_examples=10, deadline=None)
+    def test_identity_job_preserves_records(self, nlines, nred):
+        cl = Cluster(TESTING)
+        h = HDFS(cl, block_size=500, replication=2)
+        h.create("in.txt", LineContent(lambda i: f"k{i} v{i}", nlines))
+        conf = JobConf(
+            name="identity",
+            input_url="hdfs://in.txt",
+            mapper=lambda line: [tuple(line.split())],
+            reducer=lambda k, vs: [(k, v) for v in vs],
+            num_reduces=nred,
+        )
+        res = run_job(cl, conf)
+        assert sorted(res.output) == sorted((f"k{i}", f"v{i}")
+                                            for i in range(nlines))
+
+    def test_combiner_shrinks_shuffle(self):
+        cl1, _ = make_cluster()
+        plain = run_job(cl1, wordcount_conf())
+        cl2, _ = make_cluster()
+        combined = run_job(cl2, wordcount_conf(
+            combiner=lambda k, vs: [(k, sum(vs))]))
+        assert dict(plain.output) == dict(combined.output)
+        shuffled = lambda r: (r.counters.shuffled_bytes_remote  # noqa: E731
+                              + r.counters.shuffled_bytes_local)
+        assert shuffled(combined) < shuffled(plain) / 3
+        assert combined.elapsed < plain.elapsed
+
+    def test_output_written_to_hdfs(self):
+        cl, h = make_cluster()
+        res = run_job(cl, wordcount_conf(output_url="hdfs://out",
+                                         num_reduces=2))
+        assert h.exists("out/part-r-00000")
+        assert h.exists("out/part-r-00001")
+        assert len(res.output) > 0
+
+    def test_works_on_nfs_input(self):
+        cl = Cluster(TESTING)
+        nfs = NFSFileSystem(cl)
+        nfs.create("data.txt", LineContent(lambda i: "x y", 40))
+        conf = wordcount_conf(input_url="nfs://data.txt", split_size=200)
+        res = run_job(cl, conf)
+        assert dict(res.output) == {"x": 40, "y": 40}
+
+
+class TestScheduling:
+    def test_map_tasks_follow_block_locality(self):
+        cl, h = make_cluster(lines=2000, block_size=2000, nodes=2)
+        moved = {"n": 0}
+        orig = cl.network.transmit
+
+        def spy(proc, fabric, src, dst, nbytes, **kw):
+            if kw.get("label", "").startswith("hdfs:"):
+                moved["n"] += nbytes
+            return orig(proc, fabric, src, dst, nbytes, **kw)
+
+        cl.network.transmit = spy
+        run_job(cl, wordcount_conf())
+        assert moved["n"] == 0  # every split read from a local replica
+
+    def test_task_count_matches_blocks(self):
+        cl, h = make_cluster(lines=1000, block_size=3000)
+        res = run_job(cl, wordcount_conf())
+        assert res.counters.map_tasks == len(h.blocks("corpus.txt"))
+
+    def test_slots_bound_parallelism(self):
+        """1 map slot per node serialises the map wave."""
+        cl1, _ = make_cluster(lines=2000, block_size=2000)
+        wide = run_job(cl1, wordcount_conf(), map_slots_per_node=8)
+        cl2, _ = make_cluster(lines=2000, block_size=2000)
+        narrow = run_job(cl2, wordcount_conf(), map_slots_per_node=1)
+        assert narrow.elapsed > wide.elapsed
+
+
+class TestFaultTolerance:
+    def test_failed_map_retried_and_job_succeeds(self):
+        cl, _ = make_cluster()
+        failures = {"injected": 0}
+
+        def injector(kind, tid, attempt):
+            if kind == "map" and tid == 0 and attempt == 1:
+                failures["injected"] += 1
+                return True
+            return False
+
+        res = run_job(cl, wordcount_conf(), fault_injector=injector)
+        assert failures["injected"] == 1
+        assert res.counters.task_retries == 1
+        assert dict(res.output)["alpha"] == 300
+
+    def test_failed_reduce_retried(self):
+        cl, _ = make_cluster()
+
+        def injector(kind, tid, attempt):
+            return kind == "reduce" and attempt < 3
+
+        res = run_job(cl, wordcount_conf(num_reduces=2),
+                      fault_injector=injector)
+        assert res.counters.task_retries == 4  # 2 reduces x 2 failures
+        assert dict(res.output)["alpha"] == 300
+
+    def test_exhausted_attempts_abort_job(self):
+        cl, _ = make_cluster()
+
+        def injector(kind, tid, attempt):
+            return kind == "map" and tid == 0  # always fails
+
+        with pytest.raises(SimProcessError) as ei:
+            run_job(cl, wordcount_conf(max_attempts=2),
+                    fault_injector=injector)
+        assert isinstance(ei.value.__cause__, TaskFailedError)
+
+    def test_retry_costs_time(self):
+        cl1, _ = make_cluster()
+        clean = run_job(cl1, wordcount_conf())
+        cl2, _ = make_cluster()
+        flaky = run_job(cl2, wordcount_conf(),
+                        fault_injector=lambda k, t, a: k == "map" and a == 1)
+        assert flaky.elapsed > clean.elapsed
+
+
+class TestCostShape:
+    def test_job_submission_dominates_small_jobs(self):
+        """Even a trivial job pays ~10s of framework overhead — why Hadoop
+        is never competitive on small inputs."""
+        cl = Cluster(TESTING)
+        h = HDFS(cl)
+        h.create("tiny.txt", LineContent(lambda i: "a", 5))
+        res = run_job(cl, wordcount_conf(input_url="hdfs://tiny.txt",
+                                         num_reduces=1))
+        assert res.elapsed > 8.0
+
+    def test_intermediate_data_hits_disk(self):
+        cl, _ = make_cluster()
+        res = run_job(cl, wordcount_conf())
+        assert res.counters.spilled_bytes > 0

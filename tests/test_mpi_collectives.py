@@ -1,0 +1,264 @@
+"""Collectives: correctness against NumPy references + cost-shape checks."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Cluster
+from repro.cluster.spec import TESTING, ClusterSpec, NodeSpec
+from repro.mpi import MAX, MIN, PROD, SUM, mpi_run
+
+
+def big_cluster(nodes=4):
+    # plenty of cores so any nprocs fits
+    return Cluster(ClusterSpec(name="t", num_nodes=nodes, node=NodeSpec(cores=64)))
+
+
+def run(fn, nprocs, nodes=2, **kw):
+    return mpi_run(big_cluster(nodes), fn, nprocs, charge_launch=False, **kw)
+
+
+class TestBarrier:
+    @pytest.mark.parametrize("p", [1, 2, 3, 5, 8])
+    def test_barrier_synchronises(self, p):
+        def main(comm):
+            # stagger arrival; everyone must leave >= the latest arrival
+            comm.env  # touch to keep lambda-free style
+            import repro.sim as sim
+
+            proc = sim.current_process()
+            proc.compute(float(comm.rank))
+            comm.barrier()
+            return comm.wtime()
+
+        res = run(main, p)
+        assert min(res.returns) >= p - 1
+
+    def test_barrier_cost_grows_logarithmically(self):
+        def main(comm):
+            t0 = comm.wtime()
+            comm.barrier()
+            return comm.wtime() - t0
+
+        t2 = max(run(main, 2).returns)
+        t16 = max(run(main, 16, nodes=4).returns)
+        # dissemination: ~log2(p) rounds; 16 ranks is ~4x the rounds of 2
+        assert t16 > t2
+        assert t16 < 16 * t2  # far from linear
+
+
+class TestBcast:
+    @pytest.mark.parametrize("p,root", [(2, 0), (4, 2), (5, 4), (8, 3), (9, 0)])
+    def test_bcast_delivers_everywhere(self, p, root):
+        def main(comm):
+            obj = {"v": 42} if comm.rank == root else None
+            return comm.bcast(obj, root=root)
+
+        res = run(main, p, nodes=4)
+        assert res.returns == [{"v": 42}] * p
+
+    def test_bcast_array(self):
+        def main(comm):
+            data = np.arange(100.0) if comm.rank == 0 else None
+            got = comm.bcast(data)
+            return float(got.sum())
+
+        res = run(main, 4)
+        assert res.returns == [pytest.approx(4950.0)] * 4
+
+
+class TestReduce:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 6, 8, 11])
+    def test_reduce_sum_scalar(self, p):
+        def main(comm):
+            return comm.reduce(comm.rank + 1, op=SUM, root=0)
+
+        res = run(main, p, nodes=4)
+        assert res.returns[0] == p * (p + 1) // 2
+        assert all(v is None for v in res.returns[1:])
+
+    def test_reduce_array_elementwise(self):
+        """The paper's reduce microbenchmark semantics: result[i] is the sum
+        of element i across all ranks (Section V-B1)."""
+        n = 1000
+
+        def main(comm):
+            local = np.full(n, float(comm.rank))
+            return comm.reduce(local, op=SUM, root=0)
+
+        res = run(main, 8, nodes=4)
+        expected = np.full(n, sum(range(8)), dtype=float)
+        np.testing.assert_allclose(res.returns[0], expected)
+
+    @pytest.mark.parametrize("op,expected", [
+        (SUM, 10), (PROD, 24), (MIN, 1), (MAX, 4),
+    ])
+    def test_reduce_ops(self, op, expected):
+        def main(comm):
+            return comm.reduce(comm.rank + 1, op=op, root=0)
+
+        assert run(main, 4).returns[0] == expected
+
+    def test_reduce_nonzero_root(self):
+        def main(comm):
+            return comm.reduce(1, root=2)
+
+        res = run(main, 5, nodes=3)
+        assert res.returns[2] == 5
+
+
+class TestAllreduce:
+    @given(p=st.integers(1, 13))
+    @settings(max_examples=13, deadline=None)
+    def test_allreduce_sum_any_p(self, p):
+        def main(comm):
+            return comm.allreduce(comm.rank + 1)
+
+        res = run(main, p, nodes=4)
+        assert res.returns == [p * (p + 1) // 2] * p
+
+    def test_allreduce_arrays(self):
+        def main(comm):
+            return comm.allreduce(np.array([1.0, float(comm.rank)]))
+
+        res = run(main, 6, nodes=3)
+        for arr in res.returns:
+            np.testing.assert_allclose(arr, [6.0, 15.0])
+
+    def test_allreduce_min(self):
+        def main(comm):
+            return comm.allreduce(10 - comm.rank, op=MIN)
+
+        assert run(main, 4).returns == [7] * 4
+
+
+class TestGatherScatter:
+    @pytest.mark.parametrize("p", [2, 4, 7])
+    def test_gather_rank_order(self, p):
+        def main(comm):
+            return comm.gather(comm.rank ** 2, root=0)
+
+        res = run(main, p, nodes=4)
+        assert res.returns[0] == [r * r for r in range(p)]
+
+    def test_scatter_distributes(self):
+        def main(comm):
+            objs = [f"item{i}" for i in range(comm.size)] if comm.rank == 1 else None
+            return comm.scatter(objs, root=1)
+
+        res = run(main, 4)
+        assert res.returns == ["item0", "item1", "item2", "item3"]
+
+    def test_scatter_wrong_length_raises(self):
+        from repro.errors import SimProcessError
+
+        def main(comm):
+            objs = [1] if comm.rank == 0 else None
+            return comm.scatter(objs, root=0)
+
+        with pytest.raises(SimProcessError) as ei:
+            run(main, 3)
+        assert isinstance(ei.value.__cause__, ValueError)
+
+
+class TestAllgatherAlltoall:
+    @pytest.mark.parametrize("p", [1, 2, 3, 5, 8])
+    def test_allgather(self, p):
+        def main(comm):
+            return comm.allgather(comm.rank * 2)
+
+        res = run(main, p, nodes=4)
+        assert res.returns == [[r * 2 for r in range(p)]] * p
+
+    @pytest.mark.parametrize("p", [2, 3, 4, 6])
+    def test_alltoall_transpose(self, p):
+        def main(comm):
+            objs = [(comm.rank, dest) for dest in range(comm.size)]
+            return comm.alltoall(objs)
+
+        res = run(main, p, nodes=3)
+        for me, got in enumerate(res.returns):
+            assert got == [(src, me) for src in range(p)]
+
+    def test_reduce_scatter_block(self):
+        def main(comm):
+            objs = [np.full(2, float(comm.rank + dest)) for dest in range(comm.size)]
+            return comm.reduce_scatter_block(objs)
+
+        res = run(main, 4)
+        for me, got in enumerate(res.returns):
+            np.testing.assert_allclose(got, np.full(2, sum(s + me for s in range(4))))
+
+
+class TestSplit:
+    def test_split_into_halves(self):
+        def main(comm):
+            color = comm.rank % 2
+            sub = comm.split(color)
+            total = sub.allreduce(comm.rank)
+            return (sub.size, total)
+
+        res = run(main, 6, nodes=3)
+        for rank, (size, total) in enumerate(res.returns):
+            assert size == 3
+            assert total == (0 + 2 + 4 if rank % 2 == 0 else 1 + 3 + 5)
+
+    def test_split_undefined_color(self):
+        def main(comm):
+            sub = comm.split(0 if comm.rank == 0 else None)
+            return sub if sub is None else sub.size
+
+        res = run(main, 3, nodes=2)
+        assert res.returns == [1, None, None]
+
+    def test_split_key_reorders(self):
+        def main(comm):
+            sub = comm.split(0, key=-comm.rank)
+            return sub.rank
+
+        res = run(main, 4)
+        assert res.returns == [3, 2, 1, 0]
+
+    def test_consecutive_splits_are_isolated(self):
+        def main(comm):
+            a = comm.split(comm.rank % 2)
+            b = comm.split(comm.rank // 2)
+            return (a.allreduce(1), b.allreduce(10))
+
+        res = run(main, 4)
+        assert res.returns == [(2, 20)] * 4
+
+
+class TestCollectiveCostShapes:
+    def test_reduce_time_grows_sublinearly_with_p(self):
+        """Binomial tree: 16 ranks should cost ~4 rounds, not 16."""
+        def main(comm):
+            data = np.zeros(1024)
+            t0 = comm.wtime()
+            comm.reduce(data, root=0)
+            comm.barrier()
+            return comm.wtime() - t0
+
+        t2 = max(run(main, 2, nodes=4).returns)
+        t16 = max(run(main, 16, nodes=4).returns)
+        rounds2 = math.log2(2)
+        rounds16 = math.log2(16)
+        assert t16 / t2 < 2.5 * (rounds16 / rounds2)
+
+    def test_larger_arrays_cost_more(self):
+        def main(comm, n):
+            data = np.zeros(n)
+            t0 = comm.wtime()
+            comm.reduce(data, root=0)
+            return comm.wtime() - t0
+
+        t_small = max(mpi_run(big_cluster(), lambda c: main(c, 1024), 8,
+                              charge_launch=False).returns)
+        t_big = max(mpi_run(big_cluster(), lambda c: main(c, 1024 * 256), 8,
+                            charge_launch=False).returns)
+        assert t_big > t_small * 5

@@ -1,0 +1,235 @@
+"""OpenSHMEM runtime: symmetric heap, one-sided ops, collectives, sync."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.cluster.spec import ClusterSpec, NodeSpec, TESTING
+from repro.errors import DeadlockError, ShmemError, SimProcessError
+from repro.shmem import shmem_run
+
+
+def cluster(nodes=2):
+    return Cluster(ClusterSpec(name="t", num_nodes=nodes, node=NodeSpec(cores=32)))
+
+
+def run(fn, npes=4, nodes=2, **kw):
+    return shmem_run(cluster(nodes), fn, npes, **kw)
+
+
+class TestHeap:
+    def test_alloc_gives_private_zeroed_copies(self):
+        def main(pe):
+            a = pe.alloc(3)
+            return pe.local(a).tolist()
+
+        res = run(main)
+        assert res.returns == [[0.0, 0.0, 0.0]] * 4
+
+    def test_alloc_init(self):
+        def main(pe):
+            a = pe.alloc(2, init=float(pe.my_pe))
+            return pe.local(a).tolist()
+
+        res = run(main, npes=3)
+        assert res.returns == [[0.0, 0.0], [1.0, 1.0], [2.0, 2.0]]
+
+    def test_mismatched_alloc_detected(self):
+        def main(pe):
+            pe.alloc(2 if pe.my_pe == 0 else 5)
+
+        with pytest.raises(SimProcessError) as ei:
+            run(main, npes=2)
+        assert isinstance(ei.value.__cause__, ShmemError)
+
+    def test_two_allocs_are_distinct(self):
+        def main(pe):
+            a = pe.alloc(1, init=1.0)
+            b = pe.alloc(1, init=2.0)
+            return (pe.local(a)[0], pe.local(b)[0])
+
+        res = run(main, npes=2)
+        assert res.returns == [(1.0, 2.0)] * 2
+
+
+class TestPutGet:
+    def test_put_writes_remote_copy(self):
+        def main(pe):
+            a = pe.alloc(4)
+            pe.barrier_all()
+            if pe.my_pe == 0:
+                pe.put(a, np.array([9.0, 9.0]), pe=1, offset=1)
+            pe.barrier_all()
+            return pe.local(a).tolist()
+
+        res = run(main, npes=2)
+        assert res.returns[0] == [0.0, 0.0, 0.0, 0.0]
+        assert res.returns[1] == [0.0, 9.0, 9.0, 0.0]
+
+    def test_get_reads_neighbour(self):
+        def main(pe):
+            a = pe.alloc(2, init=float(pe.my_pe * 10))
+            pe.barrier_all()
+            got = pe.get(a, (pe.my_pe + 1) % pe.n_pes)
+            pe.barrier_all()
+            return got.tolist()
+
+        res = run(main, npes=3)
+        assert res.returns == [[10.0, 10.0], [20.0, 20.0], [0.0, 0.0]]
+
+    def test_put_bounds_checked(self):
+        def main(pe):
+            a = pe.alloc(2)
+            pe.put(a, np.zeros(5), pe=0)
+
+        with pytest.raises(SimProcessError) as ei:
+            run(main, npes=2)
+        assert isinstance(ei.value.__cause__, ShmemError)
+
+    def test_scalar_put(self):
+        def main(pe):
+            a = pe.alloc(1)
+            pe.barrier_all()
+            if pe.my_pe == 1:
+                pe.put(a, 7.5, pe=0)
+            pe.barrier_all()
+            return float(pe.local(a)[0])
+
+        res = run(main, npes=2)
+        assert res.returns[0] == 7.5
+
+    def test_remote_put_slower_than_local_node(self):
+        """PEs 0,1 share node 0; PE 2 lives on node 1."""
+
+        def main(pe):
+            a = pe.alloc(1024, dtype=np.float64)
+            pe.barrier_all()
+            if pe.my_pe == 0:
+                t0 = pe.wtime()
+                pe.put(a, np.zeros(1024), pe=1)
+                local = pe.wtime() - t0
+                t0 = pe.wtime()
+                pe.put(a, np.zeros(1024), pe=2)
+                remote = pe.wtime() - t0
+                pe.barrier_all()
+                return (local, remote)
+            pe.barrier_all()
+            return None
+
+        res = shmem_run(cluster(2), main, 3, pes_per_node=2)
+        local, remote = res.returns[0]
+        assert remote > local
+
+
+class TestAtomics:
+    def test_fetch_add_returns_old_and_accumulates(self):
+        def main(pe):
+            a = pe.alloc(1)
+            pe.barrier_all()
+            old = pe.atomic_fetch_add(a, 1.0, pe=0)
+            pe.barrier_all()
+            return (old, float(pe.local(a)[0]) if pe.my_pe == 0 else None)
+
+        res = run(main, npes=4)
+        olds = sorted(r[0] for r in res.returns)
+        assert olds == [0.0, 1.0, 2.0, 3.0]
+        assert res.returns[0][1] == 4.0
+
+    def test_atomic_add_without_fetch(self):
+        def main(pe):
+            a = pe.alloc(1)
+            pe.barrier_all()
+            pe.atomic_add(a, 2.0, pe=0)
+            pe.barrier_all()
+            return float(pe.local(a)[0])
+
+        res = run(main, npes=3)
+        assert res.returns[0] == 6.0
+
+
+class TestSync:
+    def test_wait_until_woken_by_put(self):
+        def main(pe):
+            flag = pe.alloc(1)
+            pe.barrier_all()
+            if pe.my_pe == 0:
+                pe.wait_until(flag, lambda a: a[0] == 1.0)
+                return pe.wtime()
+            import repro.sim as sim
+
+            sim.current_process().compute(2.0)
+            pe.put(flag, 1.0, pe=0)
+            return None
+
+        res = run(main, npes=2)
+        assert res.returns[0] >= 2.0
+
+    def test_wait_until_never_satisfied_deadlocks(self):
+        def main(pe):
+            flag = pe.alloc(1)
+            pe.barrier_all()
+            if pe.my_pe == 0:
+                pe.wait_until(flag, lambda a: a[0] == 99.0)
+            return None
+
+        with pytest.raises(DeadlockError):
+            run(main, npes=2)
+
+    def test_distributed_lock_serialises(self):
+        def main(pe):
+            counter = pe.alloc(1)
+            pe.barrier_all()
+            pe.set_lock("L")
+            v = pe.get(counter, 0)
+            pe.put(counter, v + 1.0, pe=0)
+            pe.clear_lock("L")
+            pe.barrier_all()
+            return float(pe.local(counter)[0]) if pe.my_pe == 0 else None
+
+        res = run(main, npes=4)
+        assert res.returns[0] == 4.0
+
+
+class TestCollectives:
+    @pytest.mark.parametrize("p", [1, 2, 3, 5, 8])
+    def test_barrier_all_aligns(self, p):
+        def main(pe):
+            import repro.sim as sim
+
+            sim.current_process().compute(float(pe.my_pe))
+            pe.barrier_all()
+            return pe.wtime()
+
+        res = run(main, npes=p, nodes=2)
+        assert min(res.returns) >= p - 1
+
+    @pytest.mark.parametrize("p,root", [(2, 0), (4, 3), (5, 2)])
+    def test_broadcast(self, p, root):
+        def main(pe):
+            a = pe.alloc(3, init=float(pe.my_pe + 1))
+            pe.broadcast(a, root=root)
+            return pe.local(a).tolist()
+
+        res = run(main, npes=p, nodes=2)
+        assert res.returns == [[float(root + 1)] * 3] * p
+
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 7, 8])
+    def test_sum_to_all(self, p):
+        def main(pe):
+            a = pe.alloc(2, init=float(pe.my_pe + 1))
+            pe.sum_to_all(a)
+            return pe.local(a).tolist()
+
+        res = run(main, npes=p, nodes=2)
+        expected = [float(p * (p + 1) // 2)] * 2
+        assert res.returns == [expected] * p
+
+    def test_collect_concatenates_in_pe_order(self):
+        def main(pe):
+            a = pe.alloc(2, init=float(pe.my_pe))
+            return pe.collect(a).tolist()
+
+        res = run(main, npes=3)
+        assert res.returns == [[0.0, 0.0, 1.0, 1.0, 2.0, 2.0]] * 3

@@ -1,0 +1,446 @@
+"""Unit tests for the virtual-time engine and process model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DeadlockError, SimProcessError, SimulationError
+from repro.sim import Engine, Future, Mailbox, SimBarrier, current_process
+from repro.sim.process import ProcState
+
+
+def test_single_process_computes_and_returns():
+    eng = Engine()
+
+    def work():
+        p = current_process()
+        p.compute(1.5)
+        p.compute(0.5)
+        return "done"
+
+    proc = eng.spawn(work, name="w")
+    makespan = eng.run()
+    assert proc.result == "done"
+    assert proc.clock == pytest.approx(2.0)
+    assert makespan == pytest.approx(2.0)
+    assert proc.state is ProcState.DONE
+
+
+def test_compute_rejects_negative_time():
+    eng = Engine()
+
+    def work():
+        current_process().compute(-1.0)
+
+    eng.spawn(work, name="w")
+    with pytest.raises(SimProcessError) as ei:
+        eng.run()
+    assert isinstance(ei.value.__cause__, SimulationError)
+
+
+def test_compute_bytes_divides_by_rate():
+    eng = Engine()
+
+    def work():
+        current_process().compute_bytes(1000, 500.0)
+
+    p = eng.spawn(work, name="w")
+    eng.run()
+    assert p.clock == pytest.approx(2.0)
+
+
+def test_scheduler_runs_min_clock_first():
+    """Interactions must execute in virtual-time order."""
+    eng = Engine()
+    order: list[str] = []
+
+    def proc(name: str, delay: float):
+        p = current_process()
+        p.compute(delay)
+        p.checkpoint()
+        order.append(name)
+
+    eng.spawn(proc, "slow", 5.0, name="slow")
+    eng.spawn(proc, "fast", 1.0, name="fast")
+    eng.spawn(proc, "mid", 3.0, name="mid")
+    eng.run()
+    assert order == ["fast", "mid", "slow"]
+
+
+def test_tie_break_by_pid_is_deterministic():
+    eng = Engine()
+    order: list[int] = []
+
+    def proc(i: int):
+        current_process().checkpoint()
+        order.append(i)
+
+    for i in range(10):
+        eng.spawn(proc, i, name=f"p{i}")
+    eng.run()
+    assert order == list(range(10))
+
+
+def test_exception_propagates_with_cause():
+    eng = Engine()
+
+    def boom():
+        current_process().compute(1.0)
+        raise ValueError("kaput")
+
+    eng.spawn(boom, name="boom")
+    with pytest.raises(SimProcessError) as ei:
+        eng.run()
+    assert isinstance(ei.value.__cause__, ValueError)
+
+
+def test_failure_aborts_other_processes():
+    eng = Engine()
+
+    def boom():
+        raise RuntimeError("x")
+
+    def sleeper():
+        current_process().sleep(100.0)
+
+    eng.spawn(boom, name="boom")
+    s = eng.spawn(sleeper, name="sleeper")
+    with pytest.raises(SimProcessError):
+        eng.run()
+    assert s.state is ProcState.FAILED  # unwound via SimKilled
+    assert s.exception is None  # not an error of its own
+
+
+def test_deadlock_detection_lists_blocked_processes():
+    eng = Engine()
+    box = Mailbox("never")
+
+    def stuck():
+        box.recv(current_process(), reason="waiting-for-godot")
+
+    eng.spawn(stuck, name="vladimir")
+    eng.spawn(stuck, name="estragon")
+    with pytest.raises(DeadlockError) as ei:
+        eng.run()
+    msg = str(ei.value)
+    assert "vladimir" in msg and "estragon" in msg
+    assert "waiting-for-godot" in msg
+
+
+def test_dynamic_spawn_inherits_parent_clock():
+    eng = Engine()
+    seen = {}
+
+    def child():
+        seen["start"] = current_process().clock
+        current_process().compute(1.0)
+
+    def parent():
+        p = current_process()
+        p.compute(4.0)
+        eng.spawn(child, name="child")
+
+    eng.spawn(parent, name="parent")
+    makespan = eng.run()
+    assert seen["start"] == pytest.approx(4.0)
+    assert makespan == pytest.approx(5.0)
+
+
+def test_current_process_outside_sim_raises():
+    with pytest.raises(SimulationError):
+        current_process()
+
+
+def test_sim_api_from_host_thread_raises():
+    eng = Engine()
+    p = eng.spawn(lambda: None, name="idle")
+    with pytest.raises(SimulationError):
+        p.compute(1.0)  # not the running process
+
+
+def test_results_in_spawn_order():
+    eng = Engine()
+
+    def ret(v):
+        return v
+
+    for v in ("a", "b", "c"):
+        eng.spawn(ret, v, name=v)
+    eng.run()
+    assert eng.results() == ["a", "b", "c"]
+
+
+def test_run_not_reentrant():
+    eng = Engine()
+
+    def inner():
+        eng.run()
+
+    eng.spawn(inner, name="i")
+    with pytest.raises(SimProcessError) as ei:
+        eng.run()
+    assert isinstance(ei.value.__cause__, SimulationError)
+
+
+class TestMailbox:
+    def test_send_then_recv_same_time(self):
+        eng = Engine()
+        box = Mailbox()
+        got = {}
+
+        def sender():
+            p = current_process()
+            p.compute(2.0)
+            box.post(p, "hello")
+
+        def receiver():
+            p = current_process()
+            msg = box.recv(p)
+            got["payload"] = msg.payload
+            got["time"] = p.clock
+
+        eng.spawn(sender, name="s")
+        eng.spawn(receiver, name="r")
+        eng.run()
+        assert got["payload"] == "hello"
+        assert got["time"] == pytest.approx(2.0)
+
+    def test_recv_respects_arrival_time(self):
+        eng = Engine()
+        box = Mailbox()
+        got = {}
+
+        def sender():
+            p = current_process()
+            box.post(p, "x", arrival=7.5)
+
+        def receiver():
+            p = current_process()
+            p.compute(1.0)
+            box.recv(p)
+            got["t"] = p.clock
+
+        eng.spawn(sender, name="s")
+        eng.spawn(receiver, name="r")
+        eng.run()
+        assert got["t"] == pytest.approx(7.5)
+
+    def test_recv_already_arrived_keeps_receiver_clock(self):
+        eng = Engine()
+        box = Mailbox()
+        got = {}
+
+        def sender():
+            box.post(current_process(), "x", arrival=1.0)
+
+        def receiver():
+            p = current_process()
+            p.compute(5.0)
+            box.recv(p)
+            got["t"] = p.clock
+
+        eng.spawn(sender, name="s")
+        eng.spawn(receiver, name="r")
+        eng.run()
+        assert got["t"] == pytest.approx(5.0)
+
+    def test_match_predicate_selects_message(self):
+        eng = Engine()
+        box = Mailbox()
+        got = {}
+
+        def sender():
+            p = current_process()
+            box.post(p, "a", tag=1)
+            box.post(p, "b", tag=2)
+
+        def receiver():
+            p = current_process()
+            p.compute(1.0)
+            msg = box.recv(p, match=lambda m: m.meta.get("tag") == 2)
+            got["payload"] = msg.payload
+
+        eng.spawn(sender, name="s")
+        eng.spawn(receiver, name="r")
+        eng.run()
+        assert got["payload"] == "b"
+        assert len(box) == 1  # tag=1 still queued
+
+    def test_messages_fifo_per_match(self):
+        eng = Engine()
+        box = Mailbox()
+        got = []
+
+        def sender():
+            p = current_process()
+            for i in range(5):
+                box.post(p, i)
+
+        def receiver():
+            p = current_process()
+            p.compute(1.0)
+            for _ in range(5):
+                got.append(box.recv(p).payload)
+
+        eng.spawn(sender, name="s")
+        eng.spawn(receiver, name="r")
+        eng.run()
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_try_recv_returns_none_when_empty(self):
+        eng = Engine()
+        box = Mailbox()
+        got = {}
+
+        def prober():
+            got["res"] = box.try_recv(current_process())
+
+        eng.spawn(prober, name="p")
+        eng.run()
+        assert got["res"] is None
+
+    def test_try_recv_ignores_future_arrivals(self):
+        eng = Engine()
+        box = Mailbox()
+        got = {}
+
+        def sender():
+            box.post(current_process(), "later", arrival=10.0)
+
+        def prober():
+            p = current_process()
+            p.compute(1.0)
+            got["res"] = box.try_recv(p)
+
+        eng.spawn(sender, name="s")
+        eng.spawn(prober, name="p")
+        eng.run()
+        assert got["res"] is None
+
+
+class TestBarrier:
+    def test_all_leave_at_latest_arrival(self):
+        eng = Engine()
+        bar = SimBarrier(3)
+        leave = {}
+
+        def party(name, delay):
+            p = current_process()
+            p.compute(delay)
+            bar.wait(p)
+            leave[name] = p.clock
+
+        eng.spawn(party, "a", 1.0, name="a")
+        eng.spawn(party, "b", 5.0, name="b")
+        eng.spawn(party, "c", 3.0, name="c")
+        eng.run()
+        assert leave == {"a": pytest.approx(5.0), "b": pytest.approx(5.0),
+                         "c": pytest.approx(5.0)}
+
+    def test_barrier_is_reusable(self):
+        eng = Engine()
+        bar = SimBarrier(2)
+        gens = []
+
+        def party(delay):
+            p = current_process()
+            for _ in range(3):
+                p.compute(delay)
+                gens.append(bar.wait(p))
+
+        eng.spawn(party, 1.0, name="a")
+        eng.spawn(party, 2.0, name="b")
+        eng.run()
+        assert sorted(gens) == [0, 0, 1, 1, 2, 2]
+
+    def test_extra_cost_delays_release(self):
+        eng = Engine()
+        bar = SimBarrier(2)
+        leave = []
+
+        def party():
+            p = current_process()
+            bar.wait(p, extra_cost=0.25)
+            leave.append(p.clock)
+
+        eng.spawn(party, name="a")
+        eng.spawn(party, name="b")
+        eng.run()
+        assert leave == [pytest.approx(0.25)] * 2
+
+
+class TestFuture:
+    def test_wait_before_set(self):
+        eng = Engine()
+        fut = Future()
+        got = {}
+
+        def setter():
+            p = current_process()
+            p.compute(3.0)
+            fut.set(p, 42)
+
+        def waiter():
+            p = current_process()
+            got["v"] = fut.wait(p)
+            got["t"] = p.clock
+
+        eng.spawn(setter, name="s")
+        eng.spawn(waiter, name="w")
+        eng.run()
+        assert got == {"v": 42, "t": pytest.approx(3.0)}
+
+    def test_wait_after_set_keeps_later_clock(self):
+        eng = Engine()
+        fut = Future()
+        got = {}
+
+        def setter():
+            p = current_process()
+            p.compute(1.0)
+            fut.set(p, "v")
+
+        def waiter():
+            p = current_process()
+            p.compute(9.0)
+            fut.wait(p)
+            got["t"] = p.clock
+
+        eng.spawn(setter, name="s")
+        eng.spawn(waiter, name="w")
+        eng.run()
+        assert got["t"] == pytest.approx(9.0)
+
+    def test_set_twice_raises(self):
+        eng = Engine()
+        fut = Future()
+
+        def setter():
+            p = current_process()
+            fut.set(p, 1)
+            fut.set(p, 2)
+
+        eng.spawn(setter, name="s")
+        with pytest.raises(SimProcessError):
+            eng.run()
+
+    def test_exception_propagates_to_waiter(self):
+        eng = Engine()
+        fut = Future()
+        got = {}
+
+        def setter():
+            fut.set_exception(current_process(), KeyError("boom"))
+
+        def waiter():
+            p = current_process()
+            p.compute(1.0)
+            try:
+                fut.wait(p)
+            except KeyError as e:
+                got["exc"] = e
+
+        eng.spawn(setter, name="s")
+        eng.spawn(waiter, name="w")
+        eng.run()
+        assert "boom" in str(got["exc"])

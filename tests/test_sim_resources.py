@@ -1,0 +1,173 @@
+"""Unit tests for fluid fair-share and FIFO resources."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimProcessError
+from repro.sim import Engine, FifoResource, FluidResource, current_process
+from repro.sim.resources import FlowSystem
+
+
+def run_transfers(specs, capacity=100.0, efficiency=None):
+    """Run transfers through one shared resource.
+
+    ``specs`` is a list of ``(start_delay, nbytes)``; returns the completion
+    time of each transfer, in spec order.
+    """
+    eng = Engine()
+    fs = FlowSystem()
+    res = FluidResource("r", capacity, efficiency=efficiency)
+    done = [None] * len(specs)
+
+    def proc(i, delay, nbytes):
+        p = current_process()
+        p.compute(delay)
+        done[i] = fs.transfer(p, (res,), nbytes, label=f"t{i}")
+
+    for i, (delay, nbytes) in enumerate(specs):
+        eng.spawn(proc, i, delay, nbytes, name=f"p{i}")
+    eng.run()
+    return done
+
+
+class TestFluidSingleResource:
+    def test_solo_transfer_full_bandwidth(self):
+        done = run_transfers([(0.0, 1000.0)], capacity=100.0)
+        assert done[0] == pytest.approx(10.0)
+
+    def test_two_equal_transfers_share_fairly(self):
+        # Both start at t=0, 1000 bytes each at 100 B/s total -> both done at 20.
+        done = run_transfers([(0.0, 1000.0), (0.0, 1000.0)], capacity=100.0)
+        assert done[0] == pytest.approx(20.0)
+        assert done[1] == pytest.approx(20.0)
+
+    def test_late_arrival_slows_first_flow(self):
+        # Flow A: 1000 B alone from t=0 at 100 B/s.  B arrives at t=5 with
+        # 250 B.  From t=5 both run at 50 B/s; B finishes at t=10; A then has
+        # 250 B left at full rate -> A done at 12.5.
+        done = run_transfers([(0.0, 1000.0), (5.0, 250.0)], capacity=100.0)
+        assert done[1] == pytest.approx(10.0)
+        assert done[0] == pytest.approx(12.5)
+
+    def test_finish_releases_bandwidth_early(self):
+        # A (200 B) and B (1000 B) both start at t=0 at 50 B/s each.
+        # A done at t=4; B then speeds up: 800 B left at 100 B/s -> t=12.
+        done = run_transfers([(0.0, 200.0), (0.0, 1000.0)], capacity=100.0)
+        assert done[0] == pytest.approx(4.0)
+        assert done[1] == pytest.approx(12.0)
+
+    def test_zero_byte_transfer_is_free(self):
+        done = run_transfers([(3.0, 0.0)])
+        assert done[0] == pytest.approx(3.0)
+
+    def test_efficiency_curve_degrades_aggregate(self):
+        # 3 concurrent flows with eff(3)=0.5: aggregate 50 B/s -> each 16.66.
+        eff = lambda n: 0.5 if n >= 3 else 1.0  # noqa: E731
+        done = run_transfers(
+            [(0.0, 100.0)] * 3, capacity=100.0, efficiency=eff
+        )
+        # all three finish together: 300 bytes / 50 Bps = 6.0
+        for d in done:
+            assert d == pytest.approx(6.0)
+
+    def test_many_flows_conserve_work(self):
+        # Total bytes / capacity is a lower bound on the last completion.
+        specs = [(i * 0.1, 100.0 * (i + 1)) for i in range(10)]
+        done = run_transfers(specs, capacity=123.0)
+        total = sum(n for _, n in specs)
+        assert max(done) >= total / 123.0 - 1e-6
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(SimProcessError):
+            run_transfers([(0.0, -5.0)])
+
+
+class TestFluidMultiResource:
+    def test_flow_rate_is_min_share_across_resources(self):
+        """Incast: two senders, one receiver NIC is the bottleneck."""
+        eng = Engine()
+        fs = FlowSystem()
+        tx = [FluidResource(f"tx{i}", 100.0) for i in range(2)]
+        rx = FluidResource("rx", 100.0)
+        done = [None, None]
+
+        def sender(i):
+            p = current_process()
+            done[i] = fs.transfer(p, (tx[i], rx), 500.0, label=f"s{i}")
+
+        eng.spawn(sender, 0, name="s0")
+        eng.spawn(sender, 1, name="s1")
+        eng.run()
+        # Each sender has a private 100 B/s tx but shares rx: 50 B/s each.
+        assert done[0] == pytest.approx(10.0)
+        assert done[1] == pytest.approx(10.0)
+
+    def test_rate_cap_clamps_flow(self):
+        eng = Engine()
+        fs = FlowSystem()
+        res = FluidResource("r", 1000.0)
+        done = {}
+
+        def proc():
+            p = current_process()
+            done["t"] = fs.transfer(p, (res,), 100.0, rate_cap=10.0)
+
+        eng.spawn(proc, name="p")
+        eng.run()
+        assert done["t"] == pytest.approx(10.0)
+
+    def test_flow_system_empties_after_run(self):
+        eng = Engine()
+        fs = FlowSystem()
+        res = FluidResource("r", 10.0)
+
+        def proc():
+            fs.transfer(current_process(), (res,), 100.0)
+
+        eng.spawn(proc, name="p")
+        eng.run()
+        assert fs.active_count == 0
+        assert len(res.flows) == 0
+
+
+class TestFifoResource:
+    def test_serial_operations_queue(self):
+        eng = Engine()
+        res = FifoResource("disk", channels=1)
+        done = []
+
+        def proc(delay):
+            p = current_process()
+            p.compute(delay)
+            res.use(p, 10.0)
+            done.append((p.name, p.clock))
+
+        eng.spawn(proc, 0.0, name="a")
+        eng.spawn(proc, 1.0, name="b")
+        eng.run()
+        times = dict(done)
+        assert times["a"] == pytest.approx(10.0)
+        assert times["b"] == pytest.approx(20.0)  # queued behind a
+
+    def test_channels_allow_parallelism(self):
+        eng = Engine()
+        res = FifoResource("disk", channels=2)
+        done = []
+
+        def proc():
+            p = current_process()
+            res.use(p, 10.0)
+            done.append(p.clock)
+
+        for i in range(2):
+            eng.spawn(proc, name=f"p{i}")
+        eng.run()
+        assert done == [pytest.approx(10.0)] * 2
+
+    def test_acquire_returns_window(self):
+        res = FifoResource("r")
+        s1, e1 = res.acquire(0.0, 5.0)
+        s2, e2 = res.acquire(1.0, 5.0)
+        assert (s1, e1) == (0.0, 5.0)
+        assert (s2, e2) == (5.0, 10.0)

@@ -1,0 +1,352 @@
+"""RDD semantics: every transformation/action vs a plain-Python reference."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Cluster
+from repro.cluster.spec import TESTING
+from repro.errors import SimProcessError, SparkError
+from repro.fs import HDFS, LineContent, LocalFS
+from repro.spark import SparkContext, StorageLevel
+
+
+def make_sc(nodes=2, executors_per_node=2, **kw):
+    cl = Cluster(TESTING.with_nodes(nodes))
+    kw.setdefault("app_startup", 0.1)
+    return SparkContext(cl, executors_per_node=executors_per_node, **kw)
+
+
+def run_app(app, **kw):
+    return make_sc(**kw).run(app).value
+
+
+class TestBasicTransformations:
+    def test_map(self):
+        got = run_app(lambda sc: sc.parallelize(range(10), 4).map(lambda x: x * x).collect())
+        assert got == [x * x for x in range(10)]
+
+    def test_filter(self):
+        got = run_app(lambda sc: sc.parallelize(range(20), 3).filter(lambda x: x % 3 == 0).collect())
+        assert got == [x for x in range(20) if x % 3 == 0]
+
+    def test_flat_map(self):
+        got = run_app(lambda sc: sc.parallelize(["a b", "c d e"], 2)
+                      .flat_map(str.split).collect())
+        assert got == ["a", "b", "c", "d", "e"]
+
+    def test_chained_transformations(self):
+        def app(sc):
+            return (sc.parallelize(range(100), 8)
+                    .map(lambda x: x + 1)
+                    .filter(lambda x: x % 2 == 0)
+                    .map(lambda x: x // 2)
+                    .collect())
+
+        assert run_app(app) == [x // 2 for x in range(1, 101) if x % 2 == 0]
+
+    def test_map_values_and_keys(self):
+        def app(sc):
+            rdd = sc.parallelize([("a", 1), ("b", 2)], 2)
+            return (rdd.map_values(lambda v: v * 10).collect(),
+                    rdd.keys().collect(), rdd.values().collect())
+
+        vals, keys, values = run_app(app)
+        assert vals == [("a", 10), ("b", 20)]
+        assert keys == ["a", "b"]
+        assert values == [1, 2]
+
+    def test_key_by_and_glom(self):
+        def app(sc):
+            rdd = sc.parallelize(range(6), 3)
+            return (rdd.key_by(lambda x: x % 2).collect(),
+                    rdd.glom().collect())
+
+        keyed, glommed = run_app(app)
+        assert keyed == [(x % 2, x) for x in range(6)]
+        assert [x for g in glommed for x in g] == list(range(6))
+        assert len(glommed) == 3
+
+    def test_union(self):
+        def app(sc):
+            a = sc.parallelize([1, 2], 2)
+            b = sc.parallelize([3, 4, 5], 2)
+            return a.union(b).collect()
+
+        assert sorted(run_app(app)) == [1, 2, 3, 4, 5]
+
+    def test_sample_is_deterministic_subset(self):
+        def app(sc):
+            rdd = sc.parallelize(range(1000), 4)
+            s1 = rdd.sample(0.1).collect()
+            s2 = rdd.sample(0.1).collect()
+            return s1, s2
+
+        s1, s2 = run_app(app)
+        assert s1 == s2
+        assert set(s1) <= set(range(1000))
+        assert 20 < len(s1) < 300
+
+    def test_distinct(self):
+        got = run_app(lambda sc: sc.parallelize([1, 2, 2, 3, 3, 3], 3).distinct().collect())
+        assert sorted(got) == [1, 2, 3]
+
+    def test_zip_with_index(self):
+        got = run_app(lambda sc: sc.parallelize("abcdef", 3).zip_with_index().collect())
+        assert got == [(c, i) for i, c in enumerate("abcdef")]
+
+    def test_coalesce_preserves_records(self):
+        def app(sc):
+            rdd = sc.parallelize(range(20), 8).coalesce(3)
+            return rdd.num_partitions, sorted(rdd.collect())
+
+        n, recs = run_app(app)
+        assert n == 3
+        assert recs == list(range(20))
+
+    def test_repartition_shuffles(self):
+        def app(sc):
+            rdd = sc.parallelize(range(30), 2).repartition(6)
+            return rdd.num_partitions, sorted(rdd.collect())
+
+        n, recs = run_app(app)
+        assert n == 6
+        assert recs == list(range(30))
+
+
+class TestActions:
+    def test_count_and_sum(self):
+        def app(sc):
+            rdd = sc.parallelize(range(100), 8)
+            return rdd.count(), rdd.sum()
+
+        assert run_app(app) == (100, 4950)
+
+    def test_reduce(self):
+        got = run_app(lambda sc: sc.parallelize(range(1, 11), 4).reduce(lambda a, b: a * b))
+        assert got == 3628800
+
+    def test_reduce_empty_raises(self):
+        def app(sc):
+            return sc.parallelize([], 2).reduce(lambda a, b: a + b)
+
+        with pytest.raises(SimProcessError) as ei:
+            run_app(app)
+        assert isinstance(ei.value.__cause__, SparkError)
+
+    def test_fold_and_aggregate(self):
+        def app(sc):
+            rdd = sc.parallelize(range(10), 3)
+            folded = rdd.fold(0, lambda a, b: a + b)
+            agg = rdd.aggregate((0, 0),
+                                lambda acc, x: (acc[0] + x, acc[1] + 1),
+                                lambda a, b: (a[0] + b[0], a[1] + b[1]))
+            return folded, agg
+
+        assert run_app(app) == (45, (45, 10))
+
+    def test_mean_min_max_first(self):
+        def app(sc):
+            rdd = sc.parallelize([5.0, 1.0, 9.0, 3.0], 2)
+            return rdd.mean(), rdd.min(), rdd.max(), rdd.first()
+
+        assert run_app(app) == (4.5, 1.0, 9.0, 5.0)
+
+    def test_take_scans_minimal_partitions(self):
+        got = run_app(lambda sc: sc.parallelize(range(100), 10).take(3))
+        assert got == [0, 1, 2]
+
+    def test_count_by_key_and_value(self):
+        def app(sc):
+            rdd = sc.parallelize([("a", 1), ("a", 2), ("b", 3)], 2)
+            return rdd.count_by_key(), sc.parallelize("aab", 2).count_by_value()
+
+        by_key, by_val = run_app(app)
+        assert by_key == {"a": 2, "b": 1}
+        assert by_val == {"a": 2, "b": 1}
+
+    def test_collect_as_map(self):
+        got = run_app(lambda sc: sc.parallelize([("x", 1), ("y", 2)], 2).collect_as_map())
+        assert got == {"x": 1, "y": 2}
+
+    def test_foreach_with_accumulator(self):
+        def app(sc):
+            acc = sc.accumulator(0)
+            sc.parallelize(range(50), 4).foreach(lambda x: acc.add(x))
+            return acc.value
+
+        assert run_app(app) == sum(range(50))
+
+
+class TestShuffles:
+    def test_reduce_by_key(self):
+        def app(sc):
+            pairs = sc.parallelize([(i % 5, 1) for i in range(100)], 8)
+            return dict(pairs.reduce_by_key(lambda a, b: a + b, 4).collect())
+
+        assert run_app(app) == {k: 20 for k in range(5)}
+
+    def test_group_by_key(self):
+        def app(sc):
+            pairs = sc.parallelize([("a", 1), ("b", 2), ("a", 3)], 3)
+            return {k: sorted(v) for k, v in pairs.group_by_key(2).collect()}
+
+        assert run_app(app) == {"a": [1, 3], "b": [2]}
+
+    def test_aggregate_by_key(self):
+        def app(sc):
+            pairs = sc.parallelize([("a", 1), ("a", 5), ("b", 2)], 2)
+            return dict(pairs.aggregate_by_key(0, lambda z, v: z + v,
+                                               lambda a, b: a + b, 2).collect())
+
+        assert run_app(app) == {"a": 6, "b": 2}
+
+    def test_join(self):
+        def app(sc):
+            left = sc.parallelize([("a", 1), ("b", 2), ("a", 3)], 2)
+            right = sc.parallelize([("a", "x"), ("c", "y")], 2)
+            return sorted(left.join(right, 2).collect())
+
+        assert run_app(app) == [("a", (1, "x")), ("a", (3, "x"))]
+
+    def test_left_outer_join(self):
+        def app(sc):
+            left = sc.parallelize([("a", 1), ("b", 2)], 2)
+            right = sc.parallelize([("a", "x")], 2)
+            return sorted(left.left_outer_join(right, 2).collect())
+
+        assert run_app(app) == [("a", (1, "x")), ("b", (2, None))]
+
+    def test_subtract_by_key(self):
+        def app(sc):
+            left = sc.parallelize([("a", 1), ("b", 2), ("c", 3)], 2)
+            right = sc.parallelize([("b", 9)], 2)
+            return sorted(left.subtract_by_key(right, 2).collect())
+
+        assert run_app(app) == [("a", 1), ("c", 3)]
+
+    def test_cogroup(self):
+        def app(sc):
+            left = sc.parallelize([("k", 1), ("k", 2)], 2)
+            right = sc.parallelize([("k", "a")], 2)
+            [(k, (vs, ws))] = left.cogroup(right, 1).collect()
+            return k, sorted(vs), ws
+
+        assert run_app(app) == ("k", [1, 2], ["a"])
+
+    def test_partition_by_sets_partitioner(self):
+        def app(sc):
+            rdd = sc.parallelize([(i, i) for i in range(20)], 4).partition_by(5)
+            again = rdd.partition_by(5)
+            return rdd.num_partitions, again is rdd, sorted(rdd.collect())
+
+        n, same, recs = run_app(app)
+        assert n == 5
+        assert same  # already partitioned: no-op, no extra shuffle
+        assert recs == [(i, i) for i in range(20)]
+
+    def test_sort_by(self):
+        def app(sc):
+            rdd = sc.parallelize([5, 3, 8, 1, 9, 2, 7], 3)
+            return rdd.sort_by(lambda x: x).collect()
+
+        assert run_app(app) == [1, 2, 3, 5, 7, 8, 9]
+
+    @given(data=st.lists(st.tuples(st.integers(0, 10), st.integers(-5, 5)),
+                         max_size=60),
+           nparts=st.integers(1, 5))
+    @settings(max_examples=15, deadline=None)
+    def test_reduce_by_key_matches_reference(self, data, nparts):
+        def app(sc):
+            return dict(sc.parallelize(data, nparts)
+                        .reduce_by_key(lambda a, b: a + b, 3).collect())
+
+        ref: dict = {}
+        for k, v in data:
+            ref[k] = ref.get(k, 0) + v
+        assert run_app(app) == ref
+
+    @given(chain=st.lists(st.sampled_from(["map", "filter", "flatmap"]),
+                          max_size=4),
+           n=st.integers(0, 40))
+    @settings(max_examples=15, deadline=None)
+    def test_narrow_chains_match_reference(self, chain, n):
+        ops = {
+            "map": (lambda rdd: rdd.map(lambda x: x + 1),
+                    lambda xs: [x + 1 for x in xs]),
+            "filter": (lambda rdd: rdd.filter(lambda x: x % 2 == 0),
+                       lambda xs: [x for x in xs if x % 2 == 0]),
+            "flatmap": (lambda rdd: rdd.flat_map(lambda x: [x, -x]),
+                        lambda xs: [y for x in xs for y in (x, -x)]),
+        }
+
+        def app(sc):
+            rdd = sc.parallelize(range(n), 3)
+            for op in chain:
+                rdd = ops[op][0](rdd)
+            return rdd.collect()
+
+        ref = list(range(n))
+        for op in chain:
+            ref = ops[op][1](ref)
+        assert run_app(app) == ref
+
+
+class TestTextFile:
+    def test_hdfs_partitions_follow_blocks(self):
+        cl = Cluster(TESTING)
+        h = HDFS(cl, block_size=1000, replication=2)
+        h.create("t.txt", LineContent(lambda i: f"line-{i:03d}", 200))
+        sc = SparkContext(cl, executors_per_node=2, app_startup=0.1)
+
+        def app(sc):
+            rdd = sc.text_file("hdfs://t.txt")
+            return rdd.num_partitions, rdd.collect()
+
+        nparts, lines = sc.run(app).value
+        assert nparts == len(h.blocks("t.txt"))
+        assert lines == [f"line-{i:03d}" for i in range(200)]
+
+    def test_local_file_read(self):
+        cl = Cluster(TESTING)
+        fs = LocalFS(cl)
+        fs.create_replicated("l.txt", LineContent(lambda i: str(i), 50))
+        sc = SparkContext(cl, executors_per_node=2, app_startup=0.1)
+        got = sc.run(lambda sc: sc.text_file("local://l.txt", 4).collect()).value
+        assert got == [str(i) for i in range(50)]
+
+    def test_save_as_text_file(self):
+        cl = Cluster(TESTING)
+        h = HDFS(cl, replication=2)
+        sc = SparkContext(cl, executors_per_node=2, app_startup=0.1)
+
+        def app(sc):
+            sc.parallelize(range(100), 4).save_as_text_file("hdfs://out")
+            return True
+
+        assert sc.run(app).value
+        assert h.exists("out/part-00000")
+        assert h.exists("out/part-00003")
+
+
+class TestLineage:
+    def test_debug_string_shows_chain(self):
+        def app(sc):
+            rdd = (sc.parallelize(range(10), 2)
+                   .map(lambda x: (x % 2, x))
+                   .reduce_by_key(lambda a, b: a + b, 2))
+            return rdd.to_debug_string()
+
+        s = run_app(app)
+        assert "Shuffled" in s
+        assert "map" in s
+        assert "Parallelize" in s
+
+    def test_persist_marker_in_debug_string(self):
+        def app(sc):
+            rdd = sc.parallelize(range(4), 2).persist(StorageLevel.MEMORY_ONLY)
+            return rdd.to_debug_string()
+
+        assert "*" in run_app(app)

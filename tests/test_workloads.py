@@ -1,0 +1,152 @@
+"""Workload generators: structure, determinism, reference implementations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.graphs import (
+    GraphSpec,
+    adjacency,
+    powerlaw_digraph,
+    reference_pagerank,
+    uniform_digraph,
+)
+from repro.workloads.stackexchange import (
+    POST_ANSWER,
+    POST_QUESTION,
+    StackExchangeSpec,
+    expected_average_answers,
+    parse_post,
+    reference_answers_count,
+    se_line,
+    stackexchange_content,
+)
+
+
+class TestStackExchange:
+    def test_lines_are_parseable(self):
+        spec = StackExchangeSpec(n_posts=100)
+        for i in range(100):
+            pid, ptype, parent = parse_post(se_line(spec, i))
+            assert pid == i
+            assert ptype in (POST_QUESTION, POST_ANSWER)
+            if ptype == POST_ANSWER:
+                assert parent is not None and parent < i
+                assert parent % spec.cycle == 0  # parents are questions
+
+    def test_record_length_close_to_spec(self):
+        spec = StackExchangeSpec(n_posts=50, bytes_per_record=220)
+        for i in range(50):
+            assert abs(len(se_line(spec, i)) + 1 - 220) <= 1
+
+    def test_question_answer_ratio(self):
+        spec = StackExchangeSpec(n_posts=1000, answers_per_question=4)
+        lines = [se_line(spec, i) for i in range(1000)]
+        q = sum(1 for l in lines if parse_post(l)[1] == POST_QUESTION)
+        a = sum(1 for l in lines if parse_post(l)[1] == POST_ANSWER)
+        assert q == 200
+        assert a == 800
+
+    def test_reference_matches_closed_form(self):
+        spec = StackExchangeSpec(n_posts=997, answers_per_question=3)
+        lines = [se_line(spec, i) for i in range(spec.n_posts)]
+        assert reference_answers_count(lines) == pytest.approx(
+            expected_average_answers(spec))
+
+    def test_content_provider_roundtrip(self):
+        spec = StackExchangeSpec(n_posts=20)
+        content = stackexchange_content(spec)
+        assert list(content.lines()) == [se_line(spec, i) for i in range(20)]
+
+    def test_deterministic(self):
+        spec = StackExchangeSpec(n_posts=30)
+        assert [se_line(spec, i) for i in range(30)] == \
+            [se_line(spec, i) for i in range(30)]
+
+    def test_malformed_row_rejected(self):
+        with pytest.raises(ValueError):
+            parse_post("garbage")
+
+
+class TestGraphs:
+    @pytest.mark.parametrize("gen", [powerlaw_digraph, uniform_digraph])
+    def test_every_vertex_has_out_degree(self, gen):
+        edges = gen(100, 4, seed=7)
+        assert len(edges) == 400
+        out = {}
+        for s, d in edges:
+            assert 0 <= d < 100
+            assert s != d  # no self-loops
+            out[s] = out.get(s, 0) + 1
+        assert all(out[v] == 4 for v in range(100))
+
+    def test_deterministic_given_seed(self):
+        assert powerlaw_digraph(50, 3, seed=1) == powerlaw_digraph(50, 3, seed=1)
+        assert powerlaw_digraph(50, 3, seed=1) != powerlaw_digraph(50, 3, seed=2)
+
+    def test_powerlaw_is_more_skewed_than_uniform(self):
+        n = 2000
+        def gini_of(edges):
+            indeg = np.bincount([d for _s, d in edges], minlength=n)
+            indeg = np.sort(indeg)
+            cum = np.cumsum(indeg)
+            return 1 - 2 * np.sum(cum) / (cum[-1] * n) + 1 / n
+
+        g_pl = gini_of(powerlaw_digraph(n, 8))
+        g_uni = gini_of(uniform_digraph(n, 8))
+        assert g_pl > g_uni + 0.1
+
+    def test_graph_spec_generate(self):
+        spec = GraphSpec(n_vertices=100, out_degree=2, kind="uniform")
+        assert len(spec.generate()) == spec.n_edges
+        with pytest.raises(ValueError):
+            GraphSpec(kind="donut").generate()
+
+    def test_adjacency(self):
+        adj = adjacency([(0, 1), (0, 2), (1, 2)], 3)
+        assert adj == [[1, 2], [2], []]
+
+
+class TestReferencePageRank:
+    def test_uniform_ranks_on_symmetric_cycle(self):
+        # ring graph: every vertex identical -> all ranks equal 1.0
+        n = 10
+        edges = [(i, (i + 1) % n) for i in range(n)]
+        ranks = reference_pagerank(edges, n, iterations=50)
+        np.testing.assert_allclose(ranks, np.ones(n), rtol=1e-6)
+
+    def test_sink_attracts_rank(self):
+        # star: everyone points at vertex 0
+        edges = [(i, 0) for i in range(1, 6)]
+        ranks = reference_pagerank(edges, 6, iterations=30)
+        assert ranks[0] > ranks[1]
+
+    def test_rank_total_bounded(self):
+        edges = powerlaw_digraph(500, 6)
+        ranks = reference_pagerank(edges, 500, iterations=10)
+        # with no dangling mass redistribution the total is <= n
+        assert 0 < ranks.sum() <= 500 + 1e-6
+        assert np.all(ranks >= 0.15 - 1e-12)
+
+    @given(seed=st.integers(0, 5), iters=st.integers(1, 8))
+    @settings(max_examples=10, deadline=None)
+    def test_matches_naive_python_implementation(self, seed, iters):
+        n = 40
+        edges = uniform_digraph(n, 3, seed=seed)
+        expected = reference_pagerank(edges, n, iterations=iters)
+        # naive dict-based PageRank
+        adj = adjacency(edges, n)
+        ranks = {v: 1.0 for v in range(n)}
+        for _ in range(iters):
+            contribs = {v: 0.0 for v in range(n)}
+            for v in range(n):
+                if adj[v]:
+                    share = ranks[v] / len(adj[v])
+                    for w in adj[v]:
+                        contribs[w] += share
+            ranks = {v: 0.15 + 0.85 * contribs[v] for v in range(n)}
+        got = np.array([ranks[v] for v in range(n)])
+        np.testing.assert_allclose(got, expected, rtol=1e-9)
