@@ -1,0 +1,50 @@
+"""Wall-clock benchmark of the scheduler fast path (tools/bench_wallclock).
+
+Asserts the headline acceptance numbers: Fig 3 regenerates several times
+faster than the recorded pre-fast-path seed, and the fast and reference
+schedulers produce bit-identical virtual-time outputs (equal fingerprints).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+_TOOL = Path(__file__).parent.parent / "tools" / "bench_wallclock.py"
+
+
+def _load():
+    spec = importlib.util.spec_from_file_location("bench_wallclock", _TOOL)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def test_bench_wallclock_fig3_speedup(benchmark):
+    bench = _load()
+    entry = benchmark.pedantic(bench.run_workload, args=("fig3",),
+                               rounds=1, iterations=1)
+    # seed engine took ~19.7s; require a conservative 5x so a loaded CI
+    # machine cannot flake the (locally >10x) speedup assertion
+    assert entry["speedup_vs_seed"] > 5.0
+    assert entry["wall_s"] < bench.SEED_WALL["fig3"] / 5.0
+
+
+def test_fingerprints_identical_across_schedulers(monkeypatch):
+    bench = _load()
+    fast = bench.run_workload("fig4_mini")
+    monkeypatch.setenv("REPRO_SIM_SLOWPATH", "1")
+    slow = bench.run_workload("fig4_mini")
+    assert fast["fingerprint"] == slow["fingerprint"]
+
+
+def test_main_writes_bench_json(tmp_path):
+    bench = _load()
+    out = tmp_path / "BENCH_sim.json"
+    assert bench.main(["--only", "fig4_mini", "--out", str(out)]) == 0
+    data = json.loads(out.read_text())
+    assert data["scheduler"] == "fast"
+    wl = data["workloads"]["fig4_mini"]
+    assert set(wl) == {"wall_s", "walls_s", "seed_wall_s",
+                       "speedup_vs_seed", "fingerprint"}

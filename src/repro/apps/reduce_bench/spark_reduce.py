@@ -41,13 +41,23 @@ def spark_reduce_latency(
         for size in sizes:
             # Fig 2: Float[] arrayOfZeros = new Float[size]; parallelize; reduce
             n_elements = max(1, size // 4) * nprocs
-            list_of_ones = [1.0] * n_elements
+            # fold a physical sample, timed as the full array via
+            # record_scale (DESIGN.md §2); exact because every cost the
+            # scheduler charges is linear per record
+            scale = 1
+            while (n_elements % (2 * scale) == 0
+                   and n_elements // (2 * scale) >= 64 * nprocs
+                   and (n_elements // (2 * scale)) % nprocs == 0):
+                scale *= 2
+            sc.record_scale = scale
+            list_of_ones = [1.0] * (n_elements // scale)
             rdd = sc.parallelize(list_of_ones, nprocs)
             t0 = sim.current_process().clock
             for _ in range(iterations):
                 result = rdd.reduce(lambda a, b: a + b)
             elapsed = sim.current_process().clock - t0
-            assert result == float(n_elements)
+            assert result == float(n_elements // scale)
+            sc.record_scale = 1
             out[size] = elapsed / iterations
         return out
 

@@ -91,8 +91,9 @@ class Network:
         if src == dst:
             proc.compute(LOOPBACK_LATENCY)
             proc.compute_bytes(nbytes, LOOPBACK_RATE)
-            self.trace.record(proc.clock, proc.name, "net.loopback",
-                              fabric=fabric, node=src, nbytes=int(nbytes))
+            if self.trace.enabled:
+                self.trace.record(proc.clock, proc.name, "net.loopback",
+                                  fabric=fabric, node=src, nbytes=int(nbytes))
             return proc.clock
         proc.compute(fab.latency)
         if nbytes >= BULK_THRESHOLD:
@@ -105,8 +106,9 @@ class Network:
         else:
             proc.compute_bytes(nbytes, fab.bandwidth)
             done = proc.clock
-        self.trace.record(done, proc.name, "net.transmit",
-                          fabric=fabric, src=src, dst=dst, nbytes=int(nbytes))
+        if self.trace.enabled:
+            self.trace.record(done, proc.name, "net.transmit",
+                              fabric=fabric, src=src, dst=dst, nbytes=int(nbytes))
         return done
 
     def msg_arrival(
@@ -129,8 +131,9 @@ class Network:
         if src == dst:
             return proc.clock + LOOPBACK_LATENCY + nbytes / LOOPBACK_RATE
         arrival = proc.clock + fab.latency + nbytes / fab.bandwidth
-        self.trace.record(proc.clock, proc.name, "net.msg",
-                          fabric=fabric, src=src, dst=dst, nbytes=int(nbytes))
+        if self.trace.enabled:
+            self.trace.record(proc.clock, proc.name, "net.msg",
+                              fabric=fabric, src=src, dst=dst, nbytes=int(nbytes))
         return arrival
 
     def rx_overhead(self, fabric: str, nbytes: float) -> float:

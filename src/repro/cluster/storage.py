@@ -73,8 +73,9 @@ class StorageDevice:
         done = self.flows.transfer(
             proc, (self._read,), nbytes, label=label or f"read:{self.name}"
         )
-        self.trace.record(done, proc.name, "disk.read",
-                          device=self.name, nbytes=int(nbytes))
+        if self.trace.enabled:
+            self.trace.record(done, proc.name, "disk.read",
+                              device=self.name, nbytes=int(nbytes))
         return done
 
     def write(self, proc: SimProcess, nbytes: float, *, label: str = "") -> float:
@@ -83,8 +84,9 @@ class StorageDevice:
         done = self.flows.transfer(
             proc, (self._write,), nbytes, label=label or f"write:{self.name}"
         )
-        self.trace.record(done, proc.name, "disk.write",
-                          device=self.name, nbytes=int(nbytes))
+        if self.trace.enabled:
+            self.trace.record(done, proc.name, "disk.write",
+                              device=self.name, nbytes=int(nbytes))
         return done
 
     @property

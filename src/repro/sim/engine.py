@@ -11,11 +11,55 @@ simulation is deterministic.
 The engine runs on the caller's thread; simulated processes each own a
 daemon thread that is parked except when granted the token, so at any moment
 at most one thread is doing work.
+
+Execution model and the scheduler fast path
+-------------------------------------------
+
+The scheduling decision ("which runnable process has the smallest
+``(clock, pid)``?") is answered by a lazy-deletion binary heap
+(:attr:`Engine._heap`).  Every transition *into* the RUNNABLE state pushes a
+``(clock, pid, seq, proc)`` entry; a revision of a parked process's wake
+time pushes a fresh entry and bumps the per-process sequence number so the
+stale entry is discarded when it reaches the top.  Selecting the next
+process is therefore O(log n) instead of the O(n) scan a list would need.
+
+Three cooperating optimisations make the hot path (a checkpoint that does
+not change the schedule order) switch-free:
+
+1. **Run-ahead token retention** — at a checkpoint (or a ``park_until``
+   whose wake time is already due) the running process peeks at the heap
+   top.  If its own ``(clock, pid)`` is still the global minimum, the
+   reference scheduler would park it and immediately re-grant it, so the
+   process simply *keeps* the token and continues inline: zero Event
+   round-trips, zero OS context switches.  This is safe because no other
+   process could have run in between — the observable interleaving is
+   identical to park-and-regrant.
+
+2. **Direct handoff** — when a switch *is* required, the yielding process
+   thread pops the successor off the heap and grants the token straight to
+   it (one Event signal), instead of waking the engine thread first (two
+   signals).  The token invariant — at most one thread executes simulation
+   code at any instant — is preserved: the granting thread touches no
+   shared state after the grant.
+
+3. **Engine thread as supervisor** — the thread that called :meth:`run`
+   sleeps for the whole simulation and is only woken for the cases the
+   process threads cannot decide locally: a process failed (abort + raise),
+   or no process is runnable (termination vs deadlock detection).
+
+Determinism is unaffected: the successor chosen by the heap is exactly the
+``min()`` of the reference scheduler, and token retention only happens when
+that minimum is the yielding process itself.  Set ``REPRO_SIM_SLOWPATH=1``
+(or pass ``Engine(slowpath=True)``) to force the reference O(n)
+engine-mediated scheduler — the differential-testing escape hatch; the
+determinism suite asserts both paths produce byte-identical traces.
 """
 
 from __future__ import annotations
 
+import os
 import threading
+from heapq import heappop, heappush
 from typing import Any, Callable, Iterable
 
 from repro.errors import DeadlockError, SimProcessError, SimulationError
@@ -47,6 +91,10 @@ class Engine:
     trace:
         Optional :class:`~repro.sim.trace.Trace` collecting structured
         events; when ``None`` a disabled trace is used (zero overhead).
+    slowpath:
+        Force the reference engine-mediated scheduler (no token retention,
+        no direct handoff).  Defaults to the ``REPRO_SIM_SLOWPATH``
+        environment variable; used for differential testing.
 
     Example
     -------
@@ -61,12 +109,24 @@ class Engine:
     ('hi', 1.5)
     """
 
-    def __init__(self, *, trace: Trace | None = None) -> None:
+    def __init__(
+        self, *, trace: Trace | None = None, slowpath: bool | None = None
+    ) -> None:
         self.trace = trace if trace is not None else Trace(enabled=False)
         self.processes: list[SimProcess] = []
         self._next_pid = 0
         self._yield_evt = threading.Event()
         self._running = False
+        self._aborting = False
+        #: lazy-deletion run queue of ``(clock, pid, seq, proc)`` entries;
+        #: an entry is live iff ``seq == proc._hseq`` and the process is
+        #: RUNNABLE (see :meth:`_push`).
+        self._heap: list[tuple[float, int, int, SimProcess]] = []
+        if slowpath is None:
+            slowpath = os.environ.get("REPRO_SIM_SLOWPATH") == "1"
+        #: True when the switch-free fast path (token retention + direct
+        #: handoff) is active; False forces the reference scheduler.
+        self._fast = not slowpath
         #: virtual time of the most recently scheduled process; monotone
         #: non-decreasing over interaction points.
         self.now = 0.0
@@ -113,6 +173,47 @@ class Engine:
         """Bind ``proc`` to its backing thread (called from that thread)."""
         _current.proc = proc
 
+    # -- run queue ------------------------------------------------------------
+
+    def _push(self, proc: SimProcess) -> None:
+        """Enqueue a process that just became RUNNABLE (or was revised).
+
+        Bumps the process's heap sequence number so any earlier entry for it
+        still in the heap is recognised as stale and skipped on pop.
+        """
+        seq = proc._hseq + 1
+        proc._hseq = seq
+        heappush(self._heap, (proc.clock, proc.pid, seq, proc))
+
+    def _pop_min(self) -> SimProcess | None:
+        """Pop the runnable process with the smallest ``(clock, pid)``.
+
+        Discards stale entries (superseded pushes, processes no longer
+        RUNNABLE) on the way; returns ``None`` when nothing is runnable.
+        """
+        heap = self._heap
+        while heap:
+            _clock, _pid, seq, proc = heap[0]
+            heappop(heap)
+            if seq == proc._hseq and proc.state is ProcState.RUNNABLE:
+                return proc
+        return None
+
+    def _peek_min(self) -> tuple[float, int] | None:
+        """``(clock, pid)`` of the minimum runnable process, or ``None``.
+
+        Like :meth:`_pop_min` this reaps stale entries, but leaves the live
+        minimum in place.  Called from the running process's thread (which
+        holds the token, so no other thread touches the heap concurrently).
+        """
+        heap = self._heap
+        while heap:
+            clock, pid, seq, proc = heap[0]
+            if seq == proc._hseq and proc.state is ProcState.RUNNABLE:
+                return (clock, pid)
+            heappop(heap)
+        return None
+
     # -- scheduling loop ------------------------------------------------------
 
     def run(self) -> float:
@@ -129,31 +230,74 @@ class Engine:
             raise SimulationError("Engine.run() is not reentrant")
         self._running = True
         try:
-            for proc in self.processes:
+            for proc in list(self.processes):
                 proc._start()
-            while True:
-                runnable = [
-                    p for p in self.processes if p.state is ProcState.RUNNABLE
-                ]
-                if not runnable:
-                    blocked = [
-                        p for p in self.processes if p.state is ProcState.BLOCKED
-                    ]
-                    if blocked:
-                        self._abort()
-                        raise DeadlockError(self._deadlock_message(blocked))
-                    break  # everything DONE/FAILED
-                proc = min(runnable, key=lambda p: (p.clock, p.pid))
-                self.now = max(self.now, proc.clock)
-                self._yield_evt.clear()
-                proc._grant()
-                self._yield_evt.wait()
-                if proc.state is ProcState.FAILED and proc.exception is not None:
-                    self._abort()
-                    raise SimProcessError(proc.name) from proc.exception
-            return self.makespan()
+            if self._fast:
+                return self._run_fast()
+            return self._run_reference()
         finally:
             self._running = False
+
+    def _run_fast(self) -> float:
+        """Supervisor loop: grant, sleep, and handle the terminal cases.
+
+        Between grants the token circulates directly among process threads;
+        this thread is only woken when a process failed or nothing is
+        runnable.
+        """
+        while True:
+            failed = next(
+                (p for p in self.processes
+                 if p.state is ProcState.FAILED and p.exception is not None),
+                None,
+            )
+            if failed is not None:
+                self._abort()
+                raise SimProcessError(failed.name) from failed.exception
+            proc = self._pop_min()
+            if proc is None:
+                blocked = [
+                    p for p in self.processes if p.state is ProcState.BLOCKED
+                ]
+                if blocked:
+                    self._abort()
+                    raise DeadlockError(self._deadlock_message(blocked))
+                break  # everything DONE/FAILED
+            if proc.clock > self.now:
+                self.now = proc.clock
+            self._yield_evt.clear()
+            proc._grant()
+            self._yield_evt.wait()
+        return self.makespan()
+
+    def _run_reference(self) -> float:
+        """The reference scheduler: O(n) scan, engine-mediated switches.
+
+        Every yield funnels through this thread (two Event round-trips per
+        decision).  Kept verbatim as the differential-testing baseline for
+        the fast path — see the module docstring.
+        """
+        while True:
+            runnable = [
+                p for p in self.processes if p.state is ProcState.RUNNABLE
+            ]
+            if not runnable:
+                blocked = [
+                    p for p in self.processes if p.state is ProcState.BLOCKED
+                ]
+                if blocked:
+                    self._abort()
+                    raise DeadlockError(self._deadlock_message(blocked))
+                break  # everything DONE/FAILED
+            proc = min(runnable, key=lambda p: (p.clock, p.pid))
+            self.now = max(self.now, proc.clock)
+            self._yield_evt.clear()
+            proc._grant()
+            self._yield_evt.wait()
+            if proc.state is ProcState.FAILED and proc.exception is not None:
+                self._abort()
+                raise SimProcessError(proc.name) from proc.exception
+        return self.makespan()
 
     def makespan(self) -> float:
         """Largest virtual clock reached by any process."""
@@ -165,21 +309,46 @@ class Engine:
 
     # -- internals -----------------------------------------------------------
 
-    def _on_yield(self, proc: SimProcess) -> None:
-        """Called from the process thread when it parks or terminates."""
-        self._yield_evt.set()
+    def _release_token(self, proc: SimProcess) -> None:
+        """Called from ``proc``'s thread when it parks or terminates.
+
+        On the fast path the yielding thread grants the successor directly
+        (it still owns the token, so heap access is race-free) and wakes the
+        engine thread only when it cannot: the process failed, an abort is
+        in progress, or nothing is runnable (termination/deadlock — the
+        engine decides which).  On the slow path every yield wakes the
+        engine.
+        """
+        if (
+            not self._fast
+            or self._aborting
+            or proc.state is ProcState.FAILED
+        ):
+            self._yield_evt.set()
+            return
+        nxt = self._pop_min()
+        if nxt is None:
+            self._yield_evt.set()
+            return
+        if nxt.clock > self.now:
+            self.now = nxt.clock
+        nxt._grant()
 
     def _abort(self) -> None:
         """Unwind every parked process by injecting ``SimKilled``."""
-        for p in self.processes:
-            if p.state in (ProcState.RUNNABLE, ProcState.BLOCKED):
-                p._killed = True
-                self._yield_evt.clear()
-                p._go.set()
-                self._yield_evt.wait()
-            elif p.state is ProcState.NEW:
-                p._killed = True
-                p.state = ProcState.FAILED
+        self._aborting = True
+        try:
+            for p in self.processes:
+                if p.state in (ProcState.RUNNABLE, ProcState.BLOCKED):
+                    p._killed = True
+                    self._yield_evt.clear()
+                    p._go.set()
+                    self._yield_evt.wait()
+                elif p.state is ProcState.NEW:
+                    p._killed = True
+                    p.state = ProcState.FAILED
+        finally:
+            self._aborting = False
 
     def _deadlock_message(self, blocked: Iterable[SimProcess]) -> str:
         lines = ["simulation deadlock: all live processes are blocked"]

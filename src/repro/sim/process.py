@@ -88,6 +88,9 @@ class SimProcess:
         self._kwargs = kwargs
         self._go = threading.Event()
         self._killed = False
+        #: heap sequence number; bumped by ``Engine._push`` so stale run
+        #: queue entries for this process can be recognised and skipped.
+        self._hseq = 0
         self._thread = threading.Thread(
             target=self._thread_main, name=f"sim:{name}", daemon=True
         )
@@ -128,8 +131,20 @@ class SimProcess:
         mailboxes, wakes) must call this first.  On return, every other
         process either has ``clock >= self.clock`` or is blocked, so an
         interaction performed now is globally ordered.
+
+        Fast path (run-ahead token retention): when this process is still
+        the minimum runnable ``(clock, pid)``, parking would re-grant it
+        immediately with no intervening execution, so it keeps the token
+        and returns inline — no context switch.
         """
         self._assert_current()
+        eng = self.engine
+        if eng._fast:
+            top = eng._peek_min()
+            if top is None or (self.clock, self.pid) < top:
+                if self.clock > eng.now:
+                    eng.now = self.clock
+                return
         self._park(ProcState.RUNNABLE)
 
     def sleep(self, seconds: float) -> None:
@@ -150,6 +165,15 @@ class SimProcess:
                 f"{self.name}: wake time {wake_time} precedes clock {self.clock}"
             )
         self.clock = wake_time
+        eng = self.engine
+        if eng._fast:
+            # Run-ahead retention: if no other runnable precedes the wake
+            # time, nothing can run (and hence revise it) before it fires.
+            top = eng._peek_min()
+            if top is None or (wake_time, self.pid) < top:
+                if wake_time > eng.now:
+                    eng.now = wake_time
+                return
         self.waiting_on = reason
         self._park(ProcState.RUNNABLE)
         self.waiting_on = None
@@ -177,6 +201,7 @@ class SimProcess:
             )
         self.clock = max(self.clock, at_time)
         self.state = ProcState.RUNNABLE
+        self.engine._push(self)
 
     def _revise_wake(self, wake_time: float) -> None:
         """Revise the wake time of a process parked via :meth:`park_until`."""
@@ -185,11 +210,19 @@ class SimProcess:
                 f"cannot revise wake of {self.name}: state is {self.state.value}"
             )
         self.clock = wake_time
+        self.engine._push(self)
 
     def _park(self, state: ProcState) -> None:
-        """Hand the token back to the engine and wait to be rescheduled."""
+        """Release the token and wait to be rescheduled.
+
+        The successor is granted directly from this thread (or the engine is
+        woken when there is none) — see ``Engine._release_token``.
+        """
         self.state = state
-        self.engine._on_yield(self)
+        eng = self.engine
+        if state is ProcState.RUNNABLE:
+            eng._push(self)
+        eng._release_token(self)
         self._go.wait()
         self._go.clear()
         if self._killed:
@@ -205,6 +238,7 @@ class SimProcess:
         if self.state is not ProcState.NEW:
             return
         self.state = ProcState.RUNNABLE
+        self.engine._push(self)
         self._thread.start()
 
     def _assert_current(self) -> None:
@@ -232,4 +266,4 @@ class SimProcess:
             self.state = ProcState.FAILED
             self.exception = exc
         finally:
-            self.engine._on_yield(self)
+            self.engine._release_token(self)

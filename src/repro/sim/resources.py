@@ -147,7 +147,14 @@ class FlowSystem:
         self.flows.add(flow)
         for r in res:
             r.flows.add(flow)
-        self._recompute(proc.clock)
+        if len(self.flows) == 1:
+            # Uncontended fast path: the new flow is the only one anywhere,
+            # so the global recompute degenerates to pricing it alone.  The
+            # flow is still registered above — a competitor starting during
+            # our park must see it (and will trigger the full recompute).
+            self._recompute(proc.clock, (flow,))
+        else:
+            self._recompute(proc.clock)
         # Relative epsilon: repeated rate recomputations accumulate float
         # drift proportional to the transfer size; without this a large
         # flow can livelock on zero-length parks at its own finish time.
@@ -183,16 +190,20 @@ class FlowSystem:
         self.flows.discard(flow)
         for r in flow.resources:
             r.flows.discard(flow)
-        self._recompute(t)
+        if self.flows:
+            self._recompute(t)
 
-    def _recompute(self, t: float) -> None:
+    def _recompute(self, t: float, flows: Iterable[Flow] | None = None) -> None:
         """Re-derive every flow's rate and projected finish at time ``t``.
 
         Rate = min over the flow's resources of the resource's fair share,
         additionally clamped by the flow's own ``rate_cap``.  Owners parked on
-        a projected finish get their wake time revised.
+        a projected finish get their wake time revised.  ``flows`` restricts
+        the pass; callers may only pass a subset when it provably equals the
+        set of flows whose rate can have changed (today: the whole system
+        holds exactly that subset).
         """
-        for f in self.flows:
+        for f in self.flows if flows is None else flows:
             rate = min(r.fair_share() for r in f.resources)
             if f.rate_cap is not None:
                 rate = min(rate, f.rate_cap)
@@ -230,7 +241,11 @@ class FifoResource:
         """
         if duration < 0:
             raise SimulationError(f"negative duration: {duration}")
-        idx = min(range(len(self._free_at)), key=lambda i: self._free_at[i])
+        free_at = self._free_at
+        if len(free_at) == 1:
+            idx = 0  # single channel: skip the arg-min scan
+        else:
+            idx = min(range(len(free_at)), key=lambda i: free_at[i])
         start = max(at, self._free_at[idx])
         end = start + duration
         self._free_at[idx] = end

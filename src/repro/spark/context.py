@@ -169,6 +169,25 @@ class SparkContext:
         self._accum_ids = itertools.count()
         self._ran = False
 
+    # -- logical/physical scaling ------------------------------------------------------
+
+    @property
+    def record_scale(self) -> int:
+        """Logical records per physical record (DESIGN.md §2).
+
+        Settable from inside a running app so that workloads whose
+        equivalent dataset size varies per step (e.g. the Fig 3 reduce
+        sweep) can fold a physical sample while being *timed* as the
+        full-size data.  Applies to tasks dispatched after the assignment.
+        """
+        return self.env.record_scale
+
+    @record_scale.setter
+    def record_scale(self, scale: int) -> None:
+        if scale < 1:
+            raise ConfigurationError("record_scale must be >= 1")
+        self.env.record_scale = scale
+
     # -- RDD creation ------------------------------------------------------------------
 
     def parallelize(self, data: Any, num_partitions: int | None = None) -> RDD:

@@ -228,3 +228,48 @@ class TestStorage:
         cl.run()
         solo = (1 * GiB) / cl.spec.node.mem_bw
         assert max(done) == pytest.approx(4 * solo, rel=0.01)
+
+
+class TestTraceGating:
+    """A disabled trace must record nothing and change no virtual timing.
+
+    The cluster layer gates event construction on ``trace.enabled`` so
+    production runs skip even the kwargs marshalling; these tests pin that a
+    disabled trace stays empty and that gating is timing-transparent.
+    """
+
+    def _workload(self, trace):
+        cl = Cluster(TESTING, trace=trace)
+        out = {}
+
+        def proc():
+            p = current_process()
+            cl.nodes[0].ssd.read(p, 1 * MiB)
+            cl.nodes[0].ssd.write(p, 1 * MiB)
+            cl.network.transmit(p, "ipoib", 0, 0, 1024)      # loopback
+            cl.network.transmit(p, "ipoib", 0, 1, 1 * MiB)   # bulk path
+            cl.network.msg_arrival(p, "ipoib", 0, 1, 256)    # eager message
+            out["t"] = p.clock
+
+        cl.spawn(proc, node_id=0, name="p")
+        cl.run()
+        return out["t"]
+
+    def test_disabled_trace_records_nothing(self):
+        from repro.sim.trace import Trace
+
+        tr = Trace(enabled=False)
+        self._workload(tr)
+        assert tr.events == []
+
+    def test_gating_is_timing_transparent(self):
+        from repro.sim.trace import Trace
+
+        on = Trace(enabled=True)
+        t_on = self._workload(on)
+        t_off = self._workload(Trace(enabled=False))
+        assert t_on == t_off
+        assert sorted({ev.kind for ev in on.events}) == [
+            "disk.read", "disk.write", "net.loopback", "net.msg",
+            "net.transmit",
+        ]

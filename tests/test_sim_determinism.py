@@ -7,15 +7,20 @@ of host scheduling, and per-process clocks never run backwards.
 
 from __future__ import annotations
 
+import hashlib
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.cluster import COMET, Cluster
 from repro.cluster.spec import TESTING
+from repro.fs import HDFS, LineContent
+from repro.mapreduce import JobConf, run_job
 from repro.mpi import mpi_run
 from repro.sim import Engine, Mailbox, current_process
 from repro.sim.resources import FlowSystem, FluidResource
+from repro.sim.trace import Trace
 from repro.spark import SparkContext
 
 
@@ -125,3 +130,116 @@ class TestEndToEndDeterminism:
         # regression pin: crc32-based values are stable across platforms
         assert stable_hash("alpha") == 4228598614
         assert stable_hash(42) == 42
+
+
+def _trace_digest(trace: Trace) -> str:
+    """Order-sensitive digest over every event field (byte-identity check)."""
+    h = hashlib.sha256()
+    for ev in trace:
+        h.update(
+            f"{ev.time.hex()}|{ev.proc}|{ev.kind}|"
+            f"{sorted(ev.detail.items())!r}\n".encode()
+        )
+    return h.hexdigest()
+
+
+@pytest.fixture(params=["fast", "slowpath"])
+def sched_path(request, monkeypatch):
+    """Run the test under both schedulers: the fast path (token retention +
+    direct handoff) and the ``REPRO_SIM_SLOWPATH=1`` reference engine."""
+    if request.param == "slowpath":
+        monkeypatch.setenv("REPRO_SIM_SLOWPATH", "1")
+    else:
+        monkeypatch.delenv("REPRO_SIM_SLOWPATH", raising=False)
+    return request.param
+
+
+class TestGoldenCrossPath:
+    """Golden workloads pinned to exact virtual-time outputs.
+
+    The hex-float makespans and trace digests below were captured from the
+    reference scheduler *before* the fast path existed.  Each workload must
+    reproduce them byte-for-byte on the fast path and on the slow path —
+    any scheduling-order divergence (a wrong heap pop, an unsafe token
+    retention) changes the digest.
+    """
+
+    def _run_mpi(self):
+        tr = Trace(enabled=True)
+        cl = Cluster(COMET.with_nodes(2), trace=tr)
+
+        def job(comm):
+            import numpy as np
+
+            data = np.full(1024, float(comm.rank + 1))
+            total = comm.allreduce(data)
+            comm.barrier()
+            return float(total[0])
+
+        res = mpi_run(cl, job, 8, procs_per_node=4)
+        return (cl.engine.makespan().hex(), res.returns, len(tr.events),
+                _trace_digest(tr))
+
+    def test_mpi_collective_golden(self, sched_path):
+        got = self._run_mpi()
+        assert got == self._run_mpi()  # run-to-run identical
+        makespan, returns, n_events, digest = got
+        assert makespan == "0x1.0c518ef7eed3cp-2"
+        assert returns == [36.0] * 8
+        assert n_events == 36
+        assert digest == ("68a67d5cc5d9c7797c79810bfcd8a243"
+                          "0f7e1531eb918a35999975ff3989e519")
+
+    def _run_spark(self):
+        tr = Trace(enabled=True)
+        cl = Cluster(TESTING, trace=tr)
+        sc = SparkContext(cl, executors_per_node=2, app_startup=0.1)
+
+        def app(sc):
+            pairs = sc.parallelize([(i % 7, i) for i in range(300)], 6)
+            return sorted(pairs.reduce_by_key(lambda a, b: a + b, 3).collect())
+
+        res = sc.run(app)
+        return (cl.engine.makespan().hex(), res.value, len(tr.events),
+                _trace_digest(tr))
+
+    def test_spark_shuffle_golden(self, sched_path):
+        got = self._run_spark()
+        assert got == self._run_spark()
+        makespan, value, n_events, digest = got
+        assert makespan == "0x1.f287c9b442498p-3"
+        assert value == [(0, 6321), (1, 6364), (2, 6407), (3, 6450),
+                         (4, 6493), (5, 6536), (6, 6279)]
+        assert n_events == 9
+        assert digest == ("e742bf07c8f1d0b57793be626547a88a"
+                          "8f94a77c90309d4447518d7c84b4af83")
+
+    def _run_mapreduce(self):
+        tr = Trace(enabled=True)
+        cl = Cluster(TESTING.with_nodes(2), trace=tr)
+        h = HDFS(cl, block_size=2000, replication=2)
+        h.create("corpus.txt",
+                 LineContent(lambda i: f"alpha beta gamma{i % 4}", 200))
+        conf = JobConf(
+            name="wc",
+            input_url="hdfs://corpus.txt",
+            mapper=lambda line: [(w, 1) for w in line.split()],
+            reducer=lambda k, vs: [(k, sum(vs))],
+            num_reduces=3,
+        )
+        res = run_job(cl, conf)
+        return (cl.engine.makespan().hex(), sorted(res.output),
+                len(tr.events), _trace_digest(tr))
+
+    def test_mapreduce_dynamic_spawn_golden(self, sched_path):
+        # run_job spawns task attempts dynamically, exercising _push on a
+        # process created while the engine is already running
+        got = self._run_mapreduce()
+        assert got == self._run_mapreduce()
+        makespan, output, n_events, digest = got
+        assert makespan == "0x1.8038801058ddcp+3"
+        assert output == [("alpha", 200), ("beta", 200), ("gamma0", 50),
+                          ("gamma1", 50), ("gamma2", 50), ("gamma3", 50)]
+        assert n_events == 16
+        assert digest == ("0f6f55c0c90c503bae5781d37404a2f6"
+                          "51d583fba83e914f3172180103c21462")

@@ -171,3 +171,73 @@ class TestFifoResource:
         s2, e2 = res.acquire(1.0, 5.0)
         assert (s1, e1) == (0.0, 5.0)
         assert (s2, e2) == (5.0, 10.0)
+
+
+class TestContentionFastPaths:
+    """Regressions for the uncontended fast paths added to this module."""
+
+    def test_fifo_contended_order_is_arrival_order(self):
+        # Five single-channel users arriving at staggered virtual times must
+        # be served strictly in arrival order (FIFO), with no overlap — the
+        # single-channel idx=0 fast path must not reorder the queue.
+        eng = Engine()
+        res = FifoResource("dev", channels=1)
+        windows = []
+
+        def proc(i):
+            p = current_process()
+            p.compute(i * 1.0)  # arrive at t=i
+            start_clock = p.clock
+            res.use(p, 10.0)
+            windows.append((i, start_clock, p.clock))
+
+        for i in range(5):
+            eng.spawn(proc, i, name=f"p{i}")
+        eng.run()
+        windows.sort()
+        ends = [w[2] for w in windows]
+        # strict FIFO: process i ends at (i+1)*10 despite arriving at t=i
+        assert ends == [pytest.approx((i + 1) * 10.0) for i in range(5)]
+
+    def test_fifo_same_arrival_served_in_pid_order(self):
+        # Equal arrival times tie-break on pid (spawn order), matching the
+        # engine's deterministic (clock, pid) schedule.
+        eng = Engine()
+        res = FifoResource("dev", channels=1)
+        ends = {}
+
+        def proc(i):
+            p = current_process()
+            res.use(p, 5.0)
+            ends[i] = p.clock
+
+        for i in range(3):
+            eng.spawn(proc, i, name=f"p{i}")
+        eng.run()
+        assert [ends[i] for i in range(3)] == [
+            pytest.approx(5.0), pytest.approx(10.0), pytest.approx(15.0)]
+
+    def test_uncontended_transfer_matches_contended_formula(self):
+        # A solo flow (restricted recompute) prices identically to the same
+        # flow passing through the full recompute with a zero-byte companion.
+        solo = run_transfers([(0.0, 1000.0)], capacity=100.0)
+        with_noop = run_transfers([(0.0, 1000.0), (3.0, 0.0)], capacity=100.0)
+        assert solo[0] == with_noop[0] == pytest.approx(10.0)
+
+    def test_remove_skips_recompute_when_system_drains(self):
+        # Back-to-back solo transfers: the system empties between them and
+        # the second still prices at full bandwidth.
+        eng = Engine()
+        fs = FlowSystem()
+        res = FluidResource("r", 100.0)
+        done = []
+
+        def proc():
+            p = current_process()
+            done.append(fs.transfer(p, (res,), 500.0))
+            done.append(fs.transfer(p, (res,), 500.0))
+
+        eng.spawn(proc, name="p")
+        eng.run()
+        assert done == [pytest.approx(5.0), pytest.approx(10.0)]
+        assert fs.active_count == 0

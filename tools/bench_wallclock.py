@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""Wall-clock benchmark for the simulator's scheduler fast path.
+
+Times the paper reproductions that dominate the benchmark suite — Fig 3
+(reduce microbenchmark), Table II (parallel file read) and a miniature
+Fig 4 (AnswersCount) — and writes ``benchmarks/results/BENCH_sim.json``
+with the measured wall times, speedups over the recorded pre-fast-path
+seed, and a fingerprint of the virtual-time outputs.
+
+The fingerprint hashes the exact float bits of every data point, so two
+runs (e.g. fast path vs ``--slowpath``) produced identical simulations iff
+their fingerprints match::
+
+    PYTHONPATH=src python tools/bench_wallclock.py
+    PYTHONPATH=src python tools/bench_wallclock.py --slowpath   # reference engine
+
+The seed baselines below were measured on the pre-optimisation engine
+(O(n) scan, engine-mediated switches, no record-scale sampling in the
+Spark reduce) on the same container class that runs CI; they are fixed
+reference constants, not re-measured per run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core import figures  # noqa: E402
+from repro.core.report import FigureResult, TableResult  # noqa: E402
+
+#: wall seconds on the seed engine (see module docstring)
+SEED_WALL = {"fig3": 19.7, "table2": 16.9, "fig4_mini": 0.75}
+
+WORKLOADS = {
+    "fig3": lambda: figures.fig3(),
+    "table2": lambda: figures.table2(),
+    "fig4_mini": lambda: figures.fig4(proc_counts=(8, 16),
+                                      logical_size=8 * 10**9),
+}
+
+DEFAULT_OUT = REPO_ROOT / "benchmarks" / "results" / "BENCH_sim.json"
+
+
+def fingerprint(result: FigureResult | TableResult) -> str:
+    """Bit-exact digest of a figure/table's virtual-time outputs."""
+    h = hashlib.sha256()
+    if isinstance(result, TableResult):
+        for row in result.rows:
+            h.update(("|".join(str(c) for c in row) + "\n").encode())
+    else:
+        for s in result.series:
+            for x, y in s.points:
+                y_repr = "-" if y is None else (
+                    y.hex() if isinstance(y, float) else str(y))
+                h.update(f"{s.name}|{x}|{y_repr}\n".encode())
+    return h.hexdigest()[:16]
+
+
+def run_workload(name: str, *, repeat: int = 1) -> dict:
+    """Run one workload ``repeat`` times; report the best wall time."""
+    fn = WORKLOADS[name]
+    walls = []
+    result = None
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        result = fn()
+        walls.append(time.perf_counter() - t0)
+    wall = min(walls)
+    return {
+        "wall_s": round(wall, 3),
+        "walls_s": [round(w, 3) for w in walls],
+        "seed_wall_s": SEED_WALL[name],
+        "speedup_vs_seed": round(SEED_WALL[name] / wall, 2),
+        "fingerprint": fingerprint(result),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--only", choices=sorted(WORKLOADS), action="append",
+                    help="benchmark only this workload (repeatable)")
+    def positive_int(v: str) -> int:
+        n = int(v)
+        if n < 1:
+            raise argparse.ArgumentTypeError("must be >= 1")
+        return n
+
+    ap.add_argument("--repeat", type=positive_int, default=1,
+                    help="repetitions per workload; best wall time is kept")
+    ap.add_argument("--slowpath", action="store_true",
+                    help="force the reference scheduler (REPRO_SIM_SLOWPATH=1)")
+    ap.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                    help=f"output JSON path (default: {DEFAULT_OUT})")
+    args = ap.parse_args(argv)
+
+    if args.slowpath:
+        os.environ["REPRO_SIM_SLOWPATH"] = "1"
+    names = args.only or sorted(WORKLOADS)
+
+    out = {
+        "scheduler": "slowpath" if args.slowpath else "fast",
+        "python": sys.version.split()[0],
+        "workloads": {},
+    }
+    print(f"scheduler: {out['scheduler']}  (repeat={args.repeat})")
+    for name in names:
+        entry = run_workload(name, repeat=args.repeat)
+        out["workloads"][name] = entry
+        print(f"  {name:10s} {entry['wall_s']:8.3f}s   "
+              f"seed {entry['seed_wall_s']:6.2f}s   "
+              f"speedup {entry['speedup_vs_seed']:5.2f}x   "
+              f"fp {entry['fingerprint']}")
+
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(out, indent=1) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
