@@ -8,10 +8,17 @@ them all: this example traces an MPI PageRank and a Spark (HiBench-shape)
 PageRank on the same graph and prints who-talked-to-whom byte matrices —
 making the paper's "shuffle volume" argument visible directly.
 
+Two extra rows guard the simulator itself: per-shuffle record counts (the
+data-plane volume each phase pushes through Python) and the
+wall-seconds-per-virtual-second ratio, which surfaces a data-plane
+wall-clock regression long before any benchmark times out.
+
 Run:  python examples/profile_shuffle.py
 """
 
 from __future__ import annotations
+
+import time
 
 from repro.apps.pagerank import mpi_pagerank, spark_pagerank_hibench
 from repro.cluster import COMET, Cluster
@@ -31,9 +38,12 @@ EDGES = with_ring(GRAPH.generate(), GRAPH.n_vertices)
 def profile_mpi():
     trace = Trace()
     cluster = Cluster(COMET.with_nodes(NODES), trace=trace)
+    t0 = time.perf_counter()
     mpi_pagerank(cluster, EDGES, GRAPH.n_vertices, NODES * 4, 4,
                  iterations=ITERATIONS)
-    return profile_trace(trace, NODES)
+    wall = time.perf_counter() - t0
+    return profile_trace(trace, NODES, wall_s=wall,
+                         virtual_s=cluster.engine.makespan())
 
 
 def profile_spark():
@@ -41,9 +51,20 @@ def profile_spark():
     cluster = Cluster(COMET.with_nodes(NODES), trace=trace)
     HDFS(cluster, replication=NODES).create("edges.txt",
                                             edge_list_content(EDGES))
+    t0 = time.perf_counter()
     spark_pagerank_hibench(cluster, "hdfs://edges.txt", GRAPH.n_vertices, 4,
                            iterations=ITERATIONS)
-    return profile_trace(trace, NODES)
+    wall = time.perf_counter() - t0
+    # every SparkEnv registers itself with the cluster; its map-output
+    # tracker holds the write-side volume of each shuffle phase
+    phases = {
+        f"shuffle {sid} ({s['maps']} maps, {fmt_bytes(s['nbytes'])})":
+            s["records"]
+        for env in cluster.spark_envs
+        for sid, s in env.tracker.shuffle_stats().items()
+    }
+    return profile_trace(trace, NODES, phase_records=phases, wall_s=wall,
+                         virtual_s=cluster.engine.makespan())
 
 
 def main() -> None:

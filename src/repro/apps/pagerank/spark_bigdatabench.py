@@ -26,6 +26,14 @@ PARSE_COST = 0.3e-6
 EDGE_COST_JVM = 600e-9
 
 
+def _contrib(urls_rank):
+    """One vertex's rank spread over its out-links (``rank / len(urls)``
+    is the same float however often it is recomputed, so divide once)."""
+    urls, rank = urls_rank
+    c = rank / len(urls)
+    return [(url, c) for url in urls]
+
+
 def spark_pagerank_bigdatabench(
     cluster: Cluster,
     edges_url: str,
@@ -65,13 +73,7 @@ def spark_pagerank_bigdatabench(
             contribs = (
                 links.join(ranks)               # narrow: co-partitioned
                 .values()
-                .flat_map(
-                    lambda urls_rank: [
-                        (url, urls_rank[1] / len(urls_rank[0]))
-                        for url in urls_rank[0]
-                    ],
-                    cost=EDGE_COST_JVM,
-                )
+                .flat_map(_contrib, cost=EDGE_COST_JVM)
                 .persist(StorageLevel.MEMORY_AND_DISK)
             )
             ranks = contribs.reduce_by_key(

@@ -50,15 +50,16 @@ def spark_pagerank_hibench(
             .cache()                            # raw pairs: no partitioner
         )
         degrees = sc.broadcast(links.count_by_key())
+        deg = degrees.value  # pure reference; one deref, not one per record
+
+        def contrib(src_dst_rank, _deg=deg):
+            src, (dst, rank) = src_dst_rank
+            return (dst, rank / _deg[src])
+
         ranks = links.map(lambda e: (e[0], 1.0)).distinct(num_parts)
         for _ in range(iterations):
             contribs = links.join(ranks, num_parts).map(
-                lambda src_dst_rank: (
-                    src_dst_rank[1][0],
-                    src_dst_rank[1][1] / degrees.value[src_dst_rank[0]],
-                ),
-                cost=EDGE_COST_JVM,
-            )
+                contrib, cost=EDGE_COST_JVM)
             ranks = contribs.reduce_by_key(
                 lambda a, b: a + b, num_parts
             ).map_values(lambda r: (1 - damping) + damping * r)

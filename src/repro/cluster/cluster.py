@@ -63,6 +63,10 @@ class Cluster:
         #: filesystems mounted on this cluster, keyed by scheme
         #: (populated by :mod:`repro.fs`)
         self.filesystems: dict[str, Any] = {}
+        #: Spark runtime environments launched against this cluster, in
+        #: launch order (populated by :class:`repro.spark.context.SparkEnv`;
+        #: the profiler reads shuffle phase stats off their trackers)
+        self.spark_envs: list[Any] = []
 
     # -- process placement -----------------------------------------------------
 

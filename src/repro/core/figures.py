@@ -37,7 +37,7 @@ from repro.errors import SimProcessError
 from repro.fs import HDFS, LocalFS
 from repro.fs.content import LineContent
 from repro.units import GiB, KiB, MiB, fmt_bytes, fmt_rate
-from repro.workloads.graphs import GraphSpec, with_ring
+from repro.workloads.graphs import GraphSpec
 from repro.workloads.stackexchange import StackExchangeSpec, stackexchange_content
 
 
@@ -249,15 +249,14 @@ def _pagerank_inputs(
     """
     import dataclasses
 
-    from repro.workloads.graphs import edge_list_content, with_ring_arrays
+    from repro.workloads.graphs import ring_edge_list_content, with_ring_arrays
 
     src, dst = graph.generate_arrays()
     mpi_edges = with_ring_arrays(src, dst, graph.n_vertices)
     n_spark = min(graph.n_vertices, spark_physical_vertices)
     sample = dataclasses.replace(graph, n_vertices=n_spark)
-    spark_edges = with_ring(sample.generate(), n_spark)
     record_scale = max(1, graph.n_vertices // n_spark)
-    return mpi_edges, edge_list_content(spark_edges), n_spark, record_scale
+    return mpi_edges, ring_edge_list_content(sample), n_spark, record_scale
 
 
 def _spark_pagerank_cluster(nodes: int, content, record_scale: int) -> Cluster:

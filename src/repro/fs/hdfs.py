@@ -22,6 +22,7 @@ restricting executors to a subset of nodes).
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Iterable
 
@@ -227,10 +228,16 @@ class HDFS(FileSystem):
         lo = min(offset, f.logical_size)
         hi = min(offset + length, f.logical_size)
         node = self.cluster.node_of(proc)
-        for b in self._blocks[path]:
+        blocks = self._blocks[path]
+        # Blocks are contiguous and sorted; binary-search the first one
+        # overlapping [lo, hi) instead of scanning the whole list.  Skipped
+        # blocks would have contributed nothing (take <= 0), so the charge
+        # sequence is unchanged.
+        first = bisect_right(blocks, lo, key=lambda blk: blk.end)
+        for b in blocks[first:]:
             take = min(hi, b.end) - max(lo, b.start)
             if take <= 0:
-                continue
+                break
             proc.compute(NAMENODE_LOOKUP)
             src = self._pick_replica(b, node.id)
             self.cluster.nodes[src].ssd.read(proc, take, label=f"hdfs:{path}#{b.index}")

@@ -221,18 +221,31 @@ def _map_attempt(state: _JobState, tid: int, split: tuple[int, int],
         state.counters.map_output_records += len(out)
         if conf.combiner is not None:
             grouped: dict[Any, list] = {}
+            get_group = grouped.get
             for k, v in out:
-                grouped.setdefault(k, []).append(v)
+                vs = get_group(k)
+                if vs is None:
+                    grouped[k] = [v]
+                else:
+                    vs.append(v)
             out = [kv for k, vs in grouped.items()
                    for kv in conf.combiner(k, vs)]
             state.counters.combine_output_records += len(out)
-        buckets: dict[int, list] = {}
+        # Bucket in one pass with preallocated lists; keys repeat heavily
+        # (word-count shaped output), so hash each distinct key once.
+        num_reduces = conf.num_reduces
+        buckets: list[list] = [[] for _ in range(num_reduces)]
+        rid_of: dict[Any, int] = {}
+        get_rid = rid_of.get
         for k, v in out:
-            buckets.setdefault(stable_hash(k) % conf.num_reduces, []).append((k, v))
+            rid = get_rid(k)
+            if rid is None:
+                rid = rid_of[k] = stable_hash(k) % num_reduces
+            buckets[rid].append((k, v))
         total = 0
         node = state.cluster.node_of(proc)
-        for rid in range(conf.num_reduces):
-            bucket = buckets.get(rid, [])
+        for rid in range(num_reduces):
+            bucket = buckets[rid]
             nbytes = estimate_nbytes(bucket)
             state.map_outputs[(tid, rid)] = bucket
             state.map_output_sizes[(tid, rid)] = nbytes
@@ -273,10 +286,17 @@ def _reduce_attempt(state: _JobState, tid: int, n_maps: int, attempt: int) -> No
         # reduce-side merge sort
         proc.compute_bytes(max(1, total), costs.hadoop_sort_rate)
         grouped: dict[Any, list] = {}
+        get_group = grouped.get
         for k, v in merged:
-            grouped.setdefault(k, []).append(v)
+            vs = get_group(k)
+            if vs is None:
+                grouped[k] = [v]
+            else:
+                vs.append(v)
         out: list[tuple[Any, Any]] = []
-        for k in sorted(grouped, key=lambda k: stable_hash(k)):
+        # sorted() evaluates the key function once per element, so each
+        # distinct key is hashed exactly once here
+        for k in sorted(grouped, key=stable_hash):
             out.extend(conf.reducer(k, grouped[k]))
         proc.compute(len(merged) * (conf.reduce_cost_per_record + 1e-7))
         state.counters.reduce_output_records += len(out)

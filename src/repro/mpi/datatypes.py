@@ -22,7 +22,59 @@ def nbytes_of(obj: Any) -> int:
 
     Exact for ``numpy`` arrays/scalars, ``bytes`` and ``str``; a recursive
     estimate for lists/tuples/dicts; ``sys.getsizeof`` as a last resort.
+
+    This sits on the shuffle's size-estimation hot path (millions of calls
+    per figure), so the common exact types dispatch through a table; only
+    subclasses and numpy types fall back to the isinstance chain.  Both
+    paths return identical values.
     """
+    handler = _NBYTES_EXACT.get(type(obj))
+    if handler is not None:
+        return handler(obj)
+    return _nbytes_of_slow(obj)
+
+
+def _container_nbytes(obj) -> int:
+    # scalar elements (the overwhelmingly common case for shuffle records)
+    # are sized inline; everything else recurses
+    total = _ELEM_OVERHEAD
+    for x in obj:
+        t = type(x)
+        if t is int or t is float:
+            total += 8 + _ELEM_OVERHEAD
+        else:
+            total += nbytes_of(x) + _ELEM_OVERHEAD
+    return total
+
+
+def _dict_nbytes(obj: dict) -> int:
+    total = _ELEM_OVERHEAD
+    for k, v in obj.items():
+        total += nbytes_of(k) + nbytes_of(v) + _ELEM_OVERHEAD
+    return total
+
+
+#: exact-type fast paths; ``type()`` keys cannot misfire on subclasses
+#: (``bool`` has its own entry, so ``int``'s never sees it)
+_NBYTES_EXACT = {
+    int: lambda o: 8,
+    float: lambda o: 8,
+    complex: lambda o: 8,
+    bool: lambda o: 1,
+    type(None): lambda o: 1,
+    str: lambda o: len(o.encode()),
+    bytes: len,
+    bytearray: len,
+    memoryview: len,
+    tuple: _container_nbytes,
+    list: _container_nbytes,
+    set: _container_nbytes,
+    frozenset: _container_nbytes,
+    dict: _dict_nbytes,
+}
+
+
+def _nbytes_of_slow(obj: Any) -> int:
     if isinstance(obj, np.ndarray):
         return int(obj.nbytes)
     if isinstance(obj, np.generic):
@@ -36,11 +88,9 @@ def nbytes_of(obj: Any) -> int:
     if isinstance(obj, (int, float, complex)):
         return 8
     if isinstance(obj, (list, tuple, set, frozenset)):
-        return _ELEM_OVERHEAD + sum(nbytes_of(x) + _ELEM_OVERHEAD for x in obj)
+        return _container_nbytes(obj)
     if isinstance(obj, dict):
-        return _ELEM_OVERHEAD + sum(
-            nbytes_of(k) + nbytes_of(v) + _ELEM_OVERHEAD for k, v in obj.items()
-        )
+        return _dict_nbytes(obj)
     return int(sys.getsizeof(obj))
 
 

@@ -118,6 +118,21 @@ class SimProcess:
         self._assert_current()
         self.clock += seconds
 
+    def advance_clock_to(self, t: float) -> None:
+        """Set the clock to ``t`` (never backwards) in one step.
+
+        For callers that folded a sequence of :meth:`compute` charges
+        locally — performing the *same float additions* the individual
+        calls would have — and now apply the result as a single clock
+        update.  Bit-identical to the unfolded sequence by construction.
+        """
+        self._assert_current()
+        if t < self.clock:
+            raise SimulationError(
+                f"{self.name}: clock cannot go backwards: {self.clock} -> {t}"
+            )
+        self.clock = t
+
     def compute_bytes(self, nbytes: float, rate_bytes_per_s: float) -> None:
         """Charge CPU time for streaming ``nbytes`` at ``rate_bytes_per_s``."""
         if rate_bytes_per_s <= 0:

@@ -203,8 +203,18 @@ class FlowSystem:
         set of flows whose rate can have changed (today: the whole system
         holds exactly that subset).
         """
+        shares: dict[FluidResource, float] = {}
         for f in self.flows if flows is None else flows:
-            rate = min(r.fair_share() for r in f.resources)
+            # fair_share() is pure within one pass (flow membership is fixed
+            # here), so compute it once per resource; min over the same
+            # float values is bit-identical to the uncached expression.
+            rate = None
+            for r in f.resources:
+                s = shares.get(r)
+                if s is None:
+                    s = shares[r] = r.fair_share()
+                if rate is None or s < rate:
+                    rate = s
             if f.rate_cap is not None:
                 rate = min(rate, f.rate_cap)
             if rate <= 0:

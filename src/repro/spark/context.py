@@ -75,6 +75,7 @@ class SparkEnv:
         #: TaskContext of the task currently running on each process
         self.active_ctx: dict[int, Any] = {}
         self._epoch = itertools.count()
+        cluster.spark_envs.append(self)
 
     def next_epoch(self) -> int:
         return next(self._epoch)

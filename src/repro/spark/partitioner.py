@@ -17,6 +17,9 @@ def stable_hash(key: Any) -> int:
     Stable across runs and processes, unlike ``hash(str)``.  Integers hash
     to themselves (keeps small-int keys well spread under modulo).
     """
+    t = type(key)
+    if t is int:  # exact type: cannot shadow the bool case below
+        return key & 0x7FFFFFFF
     if isinstance(key, bool):
         return int(key)
     if isinstance(key, int):

@@ -16,6 +16,8 @@ explicit about where time goes.
 from __future__ import annotations
 
 import itertools
+import os
+from collections import OrderedDict
 from typing import TYPE_CHECKING, Any, Callable, Iterable
 
 from repro.errors import SparkError
@@ -25,6 +27,35 @@ from repro.spark.storage import StorageLevel
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.spark.context import SparkContext
     from repro.spark.scheduler import TaskContext
+
+#: sentinel distinguishing "key absent" from any stored value
+_MISSING = object()
+
+
+def _join_expand(_i: int, it: list) -> list:
+    """Cross product per cogrouped key, in ``(v, w)`` nesting order.
+
+    Keyed joins against a unique-keyed side (PageRank's ranks) have
+    single-element ``ws`` almost always; lift that case out of the nested
+    comprehension so the inner loop runs per edge, not per pair of loops.
+    Output order matches the generic form: ``w`` varies fastest.
+    """
+    out: list = []
+    extend = out.extend
+    for k, (vs, ws) in it:
+        if len(ws) == 1:
+            w = ws[0]
+            extend([(k, (v, w)) for v in vs])
+        else:
+            extend([(k, (v, w)) for v in vs for w in ws])
+    return out
+
+
+def fusion_enabled() -> bool:
+    """Whole-chain narrow-pipeline fusion (``REPRO_SPARK_NOFUSE=1`` keeps
+    the op-by-op evaluation as a differential baseline — the data-plane
+    twin of ``REPRO_SIM_SLOWPATH``)."""
+    return not os.environ.get("REPRO_SPARK_NOFUSE")
 
 
 class Dependency:
@@ -58,6 +89,10 @@ class ShuffleDependency(Dependency):
         #: optional map-side transform applied before the shuffle write
         #: (reduceByKey's combiner); set by the consuming ShuffledRDD
         self.prepare: Callable[[list, "TaskContext"], list] | None = None
+        #: ``(create, merge_value)`` twin of ``prepare`` for the combining
+        #: shuffle write, which folds the combine into the partitioning
+        #: pass instead of materialising a combined list first
+        self.combiner: tuple[Callable, Callable] | None = None
 
 
 class RDD:
@@ -130,51 +165,66 @@ class RDD:
 
     def map_partitions(self, f: Callable[[int, list], list], *,
                        preserves_partitioning: bool = False,
-                       cost: float = 0.0, name: str = "mapPartitions") -> "RDD":
-        """The primitive every narrow transformation lowers onto."""
-        return MapPartitionsRDD(self, f, preserves_partitioning, cost, name)
+                       cost: float = 0.0, name: str = "mapPartitions",
+                       record_op: tuple | None = None) -> "RDD":
+        """The primitive every narrow transformation lowers onto.
+
+        ``record_op`` optionally describes the per-record semantics of
+        ``f`` (e.g. ``("map", fn)``) so chains of such operators can be
+        fused into one per-partition pipeline; ``f`` stays authoritative
+        and is used whenever fusion is off or inapplicable.
+        """
+        return MapPartitionsRDD(self, f, preserves_partitioning, cost, name,
+                                record_op)
 
     def map(self, f: Callable[[Any], Any], *, cost: float = 0.0) -> "RDD":
         """Apply ``f`` to every record."""
         return self.map_partitions(
-            lambda _i, it: [f(x) for x in it], cost=cost, name="map")
+            lambda _i, it: [f(x) for x in it], cost=cost, name="map",
+            record_op=("map", f))
 
     def flat_map(self, f: Callable[[Any], Iterable], *, cost: float = 0.0) -> "RDD":
         """Apply ``f`` and flatten the results."""
         return self.map_partitions(
             lambda _i, it: [y for x in it for y in f(x)], cost=cost,
-            name="flatMap")
+            name="flatMap", record_op=("flat_map", f))
 
     def filter(self, pred: Callable[[Any], bool], *, cost: float = 0.0) -> "RDD":
         """Keep records satisfying ``pred``."""
         return self.map_partitions(
-            lambda _i, it: [x for x in it if pred(x)], cost=cost, name="filter")
+            lambda _i, it: [x for x in it if pred(x)], cost=cost, name="filter",
+            record_op=("filter", pred))
 
     def map_values(self, f: Callable[[Any], Any], *, cost: float = 0.0) -> "RDD":
         """Transform values of (k, v) pairs; *preserves partitioning*."""
         return self.map_partitions(
             lambda _i, it: [(k, f(v)) for k, v in it],
-            preserves_partitioning=True, cost=cost, name="mapValues")
+            preserves_partitioning=True, cost=cost, name="mapValues",
+            record_op=("map_values", f))
 
     def flat_map_values(self, f: Callable[[Any], Iterable], *,
                         cost: float = 0.0) -> "RDD":
         """Expand values of (k, v) pairs; preserves partitioning."""
         return self.map_partitions(
             lambda _i, it: [(k, w) for k, v in it for w in f(v)],
-            preserves_partitioning=True, cost=cost, name="flatMapValues")
+            preserves_partitioning=True, cost=cost, name="flatMapValues",
+            record_op=("flat_map_values", f))
 
     def keys(self) -> "RDD":
         """First elements of (k, v) pairs."""
-        return self.map_partitions(lambda _i, it: [k for k, _ in it], name="keys")
+        return self.map_partitions(lambda _i, it: [k for k, _ in it],
+                                   name="keys", record_op=("keys",))
 
     def values(self) -> "RDD":
         """Second elements of (k, v) pairs."""
-        return self.map_partitions(lambda _i, it: [v for _, v in it], name="values")
+        return self.map_partitions(lambda _i, it: [v for _, v in it],
+                                   name="values", record_op=("values",))
 
     def key_by(self, f: Callable[[Any], Any], *, cost: float = 0.0) -> "RDD":
         """Pair every record with ``f(record)`` as its key."""
         return self.map_partitions(
-            lambda _i, it: [(f(x), x) for x in it], cost=cost, name="keyBy")
+            lambda _i, it: [(f(x), x) for x in it], cost=cost, name="keyBy",
+            record_op=("key_by", f))
 
     def glom(self) -> "RDD":
         """One list per partition."""
@@ -289,9 +339,7 @@ class RDD:
         """Inner join; a narrow operation when both sides share the target
         partitioner (the mechanism behind Fig 6's shuffle avoidance)."""
         return self.cogroup(other, num_partitions).map_partitions(
-            lambda _i, it: [
-                (k, (v, w)) for k, (vs, ws) in it for v in vs for w in ws
-            ],
+            _join_expand,
             preserves_partitioning=True,
             name="join",
         )
@@ -659,23 +707,169 @@ class MapPartitionsRDD(RDD):
     """Narrow one-to-one transformation (map/filter/flatMap/... lower here)."""
 
     def __init__(self, parent: RDD, f: Callable[[int, list], list],
-                 preserves_partitioning: bool, cost: float, name: str) -> None:
+                 preserves_partitioning: bool, cost: float, name: str,
+                 record_op: tuple | None = None) -> None:
         super().__init__(parent.sc, [NarrowDependency(parent)],
                          parent.num_partitions)
         self.f = f
         self.cost_per_record = cost
         self.name = name
+        #: per-record semantics of ``f`` when known (enables chain fusion)
+        self.record_op = record_op
         if preserves_partitioning:
             self.partitioner = parent.partitioner
 
     def compute(self, index: int, ctx: "TaskContext") -> list:
         parent = self.deps[0].parent
+        if not fusion_enabled():
+            records = ctx.iterator(parent, index)
+            ctx.charge_records(len(records), extra=self.cost_per_record)
+            return self.f(index, records)
+        # Fusion: collect the maximal chain of narrow ancestors that the
+        # op-by-op path would evaluate inline anyway (uncached and
+        # uncheckpointed, so their ctx.iterator call is a plain compute),
+        # then evaluate the whole chain in one per-partition pass.  Cached,
+        # checkpointed or non-MapPartitions ancestors are fusion barriers
+        # and materialise through ctx.iterator as before.
+        chain: list[MapPartitionsRDD] = [self]
+        while (isinstance(parent, MapPartitionsRDD)
+               and parent.storage_level is None
+               and not parent.is_checkpointed):
+            chain.append(parent)
+            parent = parent.deps[0].parent
         records = ctx.iterator(parent, index)
-        ctx.charge_records(len(records), extra=self.cost_per_record)
-        return self.f(index, records)
+        if len(chain) == 1:
+            ctx.charge_records(len(records), extra=self.cost_per_record)
+            return self.f(index, records)
+        chain.reverse()
+        return _eval_fused_chain(chain, index, records, ctx)
 
     def _op_name(self) -> str:
         return self.name
+
+
+def _eval_fused_chain(chain: list[MapPartitionsRDD], index: int,
+                      records: list, ctx: "TaskContext") -> list:
+    """Evaluate a bottom-up chain of narrow levels over one partition.
+
+    Cost-equivalence invariant: issues exactly the ``charge_records`` calls
+    the op-by-op path would — same values (each level's input length times
+    its per-record cost), same order — so virtual time is bit-identical.
+    Only the host-side intermediate list per operator is elided, for runs
+    of levels whose ``record_op`` is known; generic ``map_partitions``
+    levels still apply their whole-partition function.
+    """
+    i, n = 0, len(chain)
+    while i < n:
+        level = chain[i]
+        if level.record_op is None:
+            ctx.charge_records(len(records), extra=level.cost_per_record)
+            records = level.f(index, records)
+            i += 1
+            continue
+        j = i
+        while j < n and chain[j].record_op is not None:
+            j += 1
+        if j - i == 1:
+            # a run of one operator gains nothing from the push pipeline;
+            # charge and apply it directly, as the op-by-op path does
+            ctx.charge_records(len(records), extra=level.cost_per_record)
+            records = level.f(index, records)
+            i = j
+            continue
+        run = chain[i:j]
+        out, counts = _run_pipeline(run, records)
+        # Per-level charges, deferred past the (host-side) evaluation but
+        # in the original order: level k's input is level k-1's output.
+        ctx.charge_records(len(records), extra=run[0].cost_per_record)
+        for k in range(1, len(run)):
+            ctx.charge_records(counts[k - 1], extra=run[k].cost_per_record)
+        records = out
+        i = j
+    return records
+
+
+def _run_pipeline(levels: list[MapPartitionsRDD],
+                  records: list) -> tuple[list, list[int]]:
+    """Push ``records`` through a run of fusable operators in one pass.
+
+    Returns ``(output, counts)`` where ``counts[k]`` is the number of
+    records level ``k`` emitted (needed for the per-level charges).
+    """
+    m = len(levels)
+    out: list = []
+    cells: list = [None] * m  # one-element counters for count-changing ops
+    stage: Callable = out.append
+    for k in range(m - 1, -1, -1):
+        op = levels[k].record_op
+        kind = op[0]
+        if kind == "map":
+            f = op[1]
+
+            def stage(v, f=f, c=stage):
+                c(f(v))
+        elif kind == "filter":
+            f = op[1]
+            cell = cells[k] = [0]
+
+            def stage(v, f=f, c=stage, cell=cell):
+                if f(v):
+                    cell[0] += 1
+                    c(v)
+        elif kind == "flat_map":
+            f = op[1]
+            cell = cells[k] = [0]
+
+            def stage(v, f=f, c=stage, cell=cell):
+                n = 0
+                for y in f(v):
+                    n += 1
+                    c(y)
+                cell[0] += n
+        elif kind == "map_values":
+            f = op[1]
+
+            def stage(v, f=f, c=stage):
+                key, w = v
+                c((key, f(w)))
+        elif kind == "flat_map_values":
+            f = op[1]
+            cell = cells[k] = [0]
+
+            def stage(v, f=f, c=stage, cell=cell):
+                key, w = v
+                n = 0
+                for y in f(w):
+                    n += 1
+                    c((key, y))
+                cell[0] += n
+        elif kind == "keys":
+
+            def stage(v, c=stage):
+                key, _w = v
+                c(key)
+        elif kind == "values":
+
+            def stage(v, c=stage):
+                _key, w = v
+                c(w)
+        elif kind == "key_by":
+            f = op[1]
+
+            def stage(v, f=f, c=stage):
+                c((f(v), v))
+        else:  # pragma: no cover - record_op values are package-internal
+            raise SparkError(f"unknown fused operator {kind!r}")
+    pipe = stage
+    for v in records:
+        pipe(v)
+    counts = [0] * m
+    prev = len(records)
+    for k in range(m):
+        if cells[k] is not None:
+            prev = cells[k][0]
+        counts[k] = prev  # count-preserving ops emit their input count
+    return out, counts
 
 
 class UnionRDD(RDD):
@@ -747,6 +941,7 @@ class ShuffledRDD(RDD):
         self.map_side_combine = map_side_combine and aggregator is not None
         if self.map_side_combine:
             dep.prepare = self.map_side_prepare
+            dep.combiner = (aggregator[0], aggregator[1])
 
     @property
     def shuffle_dep(self) -> ShuffleDependency:
@@ -761,12 +956,17 @@ class ShuffledRDD(RDD):
             return records
         create, merge_value, merge_combiners = self.aggregator
         out: dict = {}
-        for k, v in records:
-            if self.map_side_combine:
-                # values arriving are already combiners
-                out[k] = merge_combiners(out[k], v) if k in out else v
-            else:
-                out[k] = merge_value(out[k], v) if k in out else create(v)
+        get = out.get
+        if self.map_side_combine:
+            # values arriving are already combiners
+            for k, v in records:
+                prev = get(k, _MISSING)
+                out[k] = v if prev is _MISSING else merge_combiners(prev, v)
+        else:
+            for k, v in records:
+                prev = get(k, _MISSING)
+                out[k] = (create(v) if prev is _MISSING
+                          else merge_value(prev, v))
         ctx.charge_records(len(records))
         return list(out.items())
 
@@ -776,9 +976,12 @@ class ShuffledRDD(RDD):
             return records
         create, merge_value, _mc = self.aggregator  # type: ignore[misc]
         out: dict = {}
+        get = out.get
         try:
             for k, v in records:
-                out[k] = merge_value(out[k], v) if k in out else create(v)
+                prev = get(k, _MISSING)
+                out[k] = (create(v) if prev is _MISSING
+                          else merge_value(prev, v))
         except TypeError as exc:
             raise SparkError(
                 f"keyed operation over non-pair records: {exc}"
@@ -813,18 +1016,54 @@ class CoGroupedRDD(RDD):
     def compute(self, index: int, ctx: "TaskContext") -> list:
         groups: dict[Any, tuple[list, ...]] = {}
         nsides = len(self.deps)
+        get = groups.get
+        n_records = 0
+        # Iterative joins feed the same left-side list object every
+        # iteration (cached partitions / memoised shuffle reads), so its
+        # per-key grouping is recomputed verbatim.  Memoise it per list
+        # identity: replaying grouped pairs inserts keys in the same
+        # first-occurrence order and values in the same record order as
+        # the per-record loop.
+        cache = getattr(ctx.env, "cogroup_cache", None)
+        if cache is None:
+            cache = ctx.env.cogroup_cache = OrderedDict()
         for side, dep in enumerate(self.deps):
             if isinstance(dep, ShuffleDependency):
                 records = ctx.shuffle_read(
                     dep.shuffle_id, index, dep.parent.num_partitions)
             else:
                 records = ctx.iterator(dep.parent, index)
-            for k, v in records:
-                if k not in groups:
-                    groups[k] = tuple([] for _ in range(nsides))
-                groups[k][side].append(v)
-        ctx.charge_records(sum(len(g[0]) + len(g[1]) for g in groups.values())
-                           if nsides == 2 else len(groups))
+            n_records += len(records)
+            if nsides == 2:
+                hit = cache.get(id(records))
+                if hit is not None and hit[0] is records:
+                    cache.move_to_end(id(records))
+                    for k, vs in hit[1]:
+                        g = get(k)
+                        if g is None:
+                            g = groups[k] = ([], [])
+                        g[side].extend(vs)
+                    continue
+                for k, v in records:
+                    g = get(k)
+                    if g is None:
+                        g = groups[k] = ([], [])
+                    g[side].append(v)
+                if side == 0:
+                    # after side 0, groups holds exactly its grouping
+                    cache[id(records)] = (
+                        records, [(k, g[0]) for k, g in groups.items()])
+                    if len(cache) > 128:
+                        cache.popitem(last=False)
+            else:
+                for k, v in records:
+                    g = get(k)
+                    if g is None:
+                        g = groups[k] = tuple([] for _ in range(nsides))
+                    g[side].append(v)
+        # two-sided: every input record lands in exactly one group list, so
+        # the old sum over group sizes equals the record count
+        ctx.charge_records(n_records if nsides == 2 else len(groups))
         return list(groups.items())
 
     def _op_name(self) -> str:

@@ -26,6 +26,7 @@ from repro.spark.rdd import (
     NarrowDependency,
     RDD,
     ShuffleDependency,
+    fusion_enabled,
 )
 from repro.spark.shuffle import ShuffleReader, ShuffleWriter, estimate_nbytes
 
@@ -153,6 +154,13 @@ def run_shuffle_map_task(env: "SparkEnv", executor: "Executor",
     """Compute one map-side partition and write its shuffle buckets."""
     ctx = TaskContext(env, executor)
     records = ctx.iterator(dep.parent, partition)
+    if dep.combiner is not None and fusion_enabled():
+        # combining shuffle write: map-side combine folded into the
+        # partitioning pass (charge-identical to prepare-then-write)
+        ShuffleWriter(env).write(
+            ctx.proc, executor, dep.shuffle_id, partition, dep.partitioner,
+            records, combiner=dep.combiner)
+        return ctx
     if dep.prepare is not None:
         records = dep.prepare(records, ctx)
     ShuffleWriter(env).write(
@@ -280,11 +288,18 @@ class DAGScheduler:
             raise JobAbortedError("no alive executors")
         retries: dict[int, int] = {}
         epoch = env.next_epoch()  # isolates this attempt's result messages
+        # Matching state hoisted out of the per-dispatch loop: whether any
+        # RDD on the stage's narrow lineage can be cached at all (if not,
+        # cache-affinity matching degenerates provably), and a memo of the
+        # per-partition preferred nodes (static for a given stage).
+        lineage_cacheable = self._lineage_may_cache(stage.rdd)
+        node_prefs: dict[int, set[int]] = {}
 
         def dispatch_one() -> bool:
             if not queue or not free:
                 return False
-            part, eid = self._match_task(stage, queue, free)
+            part, eid = self._match_task(stage, queue, free,
+                                         lineage_cacheable, node_prefs)
             free.remove(eid)
             ex = env.executors[eid]
             proc.compute(env.costs.spark_task_dispatch)
@@ -362,7 +377,9 @@ class DAGScheduler:
                         stack.append((dep.parent, pi))
         return total
 
-    def _match_task(self, stage: Stage, queue: deque, free: deque) -> tuple[int, int]:
+    def _match_task(self, stage: Stage, queue: deque, free: deque,
+                    lineage_cacheable: bool = True,
+                    node_prefs: dict[int, set[int]] | None = None) -> tuple[int, int]:
         """Pick the next (partition, executor) pairing, locality first.
 
         A lightweight form of Spark's delay scheduling: prefer dispatching a
@@ -370,18 +387,28 @@ class DAGScheduler:
         block, and keep unpreferring tasks off executors that other queued
         tasks want — otherwise one dead executor shifts every task off its
         cache and the whole stage recomputes.
+
+        When ``lineage_cacheable`` is False, no RDD on the stage's narrow
+        lineage has a storage level, so ``_preferred_executors`` is empty
+        for every partition: pass 1 can never hit and pass 3's reserved
+        set is empty — both are skipped, selecting identically.
         """
         env = self.env
-        # 1. a queued task whose cached-block executor is free
-        for qi, part in enumerate(queue):
-            pref = self._preferred_executors(stage.rdd, part)
-            hit = next((e for e in free if e in pref), None)
-            if hit is not None:
-                del queue[qi]
-                return part, hit
+        if lineage_cacheable:
+            # 1. a queued task whose cached-block executor is free
+            for qi, part in enumerate(queue):
+                pref = self._preferred_executors(stage.rdd, part)
+                hit = next((e for e in free if e in pref), None)
+                if hit is not None:
+                    del queue[qi]
+                    return part, hit
         # 2. a queued task with a free executor on a preferred node
         for qi, part in enumerate(queue):
-            nodes = set(stage.rdd.preferred_nodes(part))
+            nodes = node_prefs.get(part) if node_prefs is not None else None
+            if nodes is None:
+                nodes = set(stage.rdd.preferred_nodes(part))
+                if node_prefs is not None:
+                    node_prefs[part] = nodes
             if not nodes:
                 continue
             hit = next(
@@ -391,11 +418,30 @@ class DAGScheduler:
                 return part, hit
         # 3. head of queue onto an executor nobody else is waiting for
         part = queue.popleft()
+        if not lineage_cacheable:
+            return part, free[0]
         reserved: set[int] = set()
         for q in queue:
             reserved |= self._preferred_executors(stage.rdd, q)
         hit = next((e for e in free if e not in reserved), None)
         return part, hit if hit is not None else free[0]
+
+    def _lineage_may_cache(self, rdd: RDD) -> bool:
+        """True if any RDD reachable over narrow dependencies has a storage
+        level set (i.e. cache-affinity matching could ever find a hit)."""
+        stack = [rdd]
+        seen: set[int] = set()
+        while stack:
+            r = stack.pop()
+            if r.id in seen:
+                continue
+            seen.add(r.id)
+            if r.storage_level is not None:
+                return True
+            for dep in r.deps:
+                if isinstance(dep, NarrowDependency):
+                    stack.append(dep.parent)
+        return False
 
     def _preferred_executors(self, rdd: RDD, part: int) -> set[int]:
         """Executors holding a cached copy of this partition (or of the

@@ -42,6 +42,12 @@ class ProfileReport:
     loopback_bytes: dict[str, int] = field(default_factory=dict)
     #: device name -> [read_bytes, write_bytes]
     disk_bytes: dict[str, list[int]] = field(default_factory=dict)
+    #: phase label -> record count (e.g. per-shuffle write volumes)
+    phase_records: dict[str, int] = field(default_factory=dict)
+    #: host seconds spent producing the run (wall clock)
+    wall_s: float | None = None
+    #: simulated seconds the run covers (engine makespan)
+    virtual_s: float | None = None
 
     # -- aggregates ------------------------------------------------------------
 
@@ -92,12 +98,32 @@ class ProfileReport:
             r, w = self.disk_bytes[dev]
             lines.append(f"    {dev}: {fmt_bytes(r)} read, "
                          f"{fmt_bytes(w)} written")
+        if self.phase_records:
+            lines.append("  records per phase:")
+            for phase, count in self.phase_records.items():
+                lines.append(f"    {phase}: {count:,}")
+        if self.wall_s is not None and self.virtual_s:
+            lines.append(
+                f"  wall {self.wall_s:.2f}s for {self.virtual_s:.2f}s "
+                f"virtual ({self.wall_s / self.virtual_s:.3f} wall-s per "
+                "virtual-s)")
         return "\n".join(lines)
 
 
-def profile_trace(trace: Trace, num_nodes: int) -> ProfileReport:
-    """Aggregate a run's trace into a :class:`ProfileReport`."""
-    report = ProfileReport(num_nodes=num_nodes)
+def profile_trace(trace: Trace, num_nodes: int, *,
+                  phase_records: dict[str, int] | None = None,
+                  wall_s: float | None = None,
+                  virtual_s: float | None = None) -> ProfileReport:
+    """Aggregate a run's trace into a :class:`ProfileReport`.
+
+    ``phase_records`` attaches per-phase record counts (e.g. from
+    :meth:`MapOutputTracker.shuffle_stats`); ``wall_s``/``virtual_s``
+    attach the host-time-per-simulated-second ratio — the number that
+    shows a data-plane wall-clock regression before any test times out.
+    """
+    report = ProfileReport(num_nodes=num_nodes,
+                           phase_records=dict(phase_records or {}),
+                           wall_s=wall_s, virtual_s=virtual_s)
     for ev in trace:
         if ev.kind in ("net.transmit", "net.msg"):
             fabric = ev.detail["fabric"]

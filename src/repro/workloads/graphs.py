@@ -17,6 +17,7 @@ cross-validated numerically.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -133,6 +134,19 @@ def edge_list_content(edges) -> "LineContent":
     src, dst = edge_arrays(edges)
     pairs = [f"{s} {d}" for s, d in zip(src.tolist(), dst.tolist())]
     return LineContent(lambda i: pairs[i], len(pairs))
+
+
+@lru_cache(maxsize=8)
+def ring_edge_list_content(spec: GraphSpec) -> "LineContent":
+    """Memoised edge-list payload of ``spec``'s graph plus its ring.
+
+    Identical bytes to ``edge_list_content(with_ring(spec.generate(),
+    spec.n_vertices))`` — the array twin concatenates the same edges in
+    the same order — but built once per spec, so node-count sweeps that
+    rebuild clusters share one chunked payload.
+    """
+    src, dst = with_ring_arrays(*spec.generate_arrays(), spec.n_vertices)
+    return edge_list_content((src, dst))
 
 
 def adjacency(edges: list[tuple[int, int]], n: int) -> list[list[int]]:

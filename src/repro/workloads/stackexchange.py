@@ -24,6 +24,7 @@ which the tests use to validate every framework implementation.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.fs.content import LineContent
 from repro.spark.partitioner import stable_hash
@@ -80,8 +81,14 @@ def se_line(spec: StackExchangeSpec, i: int) -> str:
     return head + body
 
 
+@lru_cache(maxsize=8)
 def stackexchange_content(spec: StackExchangeSpec) -> LineContent:
-    """Materialise the physical payload for a spec (host-side)."""
+    """The physical payload for a spec (host-side, memoised per spec).
+
+    Specs are frozen/hashable and content is a pure function of the spec,
+    so figure sweeps that rebuild clusters share one chunked payload
+    instead of re-rendering every post per cluster size.
+    """
     return LineContent(lambda i: se_line(spec, i), spec.n_posts)
 
 

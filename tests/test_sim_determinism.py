@@ -143,14 +143,18 @@ def _trace_digest(trace: Trace) -> str:
     return h.hexdigest()
 
 
-@pytest.fixture(params=["fast", "slowpath"])
+@pytest.fixture(params=["fast", "slowpath", "nofuse"])
 def sched_path(request, monkeypatch):
-    """Run the test under both schedulers: the fast path (token retention +
-    direct handoff) and the ``REPRO_SIM_SLOWPATH=1`` reference engine."""
+    """Run the test under every engine configuration: the fast path (token
+    retention + direct handoff), the ``REPRO_SIM_SLOWPATH=1`` reference
+    engine, and the ``REPRO_SPARK_NOFUSE=1`` op-by-op Spark data plane
+    (fusion and the combining shuffle disabled)."""
+    monkeypatch.delenv("REPRO_SIM_SLOWPATH", raising=False)
+    monkeypatch.delenv("REPRO_SPARK_NOFUSE", raising=False)
     if request.param == "slowpath":
         monkeypatch.setenv("REPRO_SIM_SLOWPATH", "1")
-    else:
-        monkeypatch.delenv("REPRO_SIM_SLOWPATH", raising=False)
+    elif request.param == "nofuse":
+        monkeypatch.setenv("REPRO_SPARK_NOFUSE", "1")
     return request.param
 
 
@@ -243,3 +247,67 @@ class TestGoldenCrossPath:
         assert n_events == 16
         assert digest == ("0f6f55c0c90c503bae5781d37404a2f6"
                           "51d583fba83e914f3172180103c21462")
+
+
+class TestFusionDifferential:
+    """Fused data plane vs the ``REPRO_SPARK_NOFUSE=1`` op-by-op reference.
+
+    The knob disables both narrow-stage fusion and the combining shuffle
+    write, so each fused app workload runs with one ``compute`` call per
+    materialised stage again.  Results, hex-float makespans and trace
+    digests must be byte-identical either way — fusion is a wall-clock
+    optimisation, never a simulation change.
+    """
+
+    def _run(self, build):
+        tr = Trace(enabled=True)
+        cl = Cluster(COMET.with_nodes(2), trace=tr)
+        t, value = build(cl)
+        return (cl.engine.makespan().hex(), t.hex(), value,
+                len(tr.events), _trace_digest(tr))
+
+    @staticmethod
+    def _answers_count(cl):
+        from repro.apps.answerscount import spark_answers_count
+        from repro.units import KiB
+        from repro.workloads.stackexchange import (
+            StackExchangeSpec, stackexchange_content)
+
+        content = stackexchange_content(StackExchangeSpec(n_posts=2000))
+        HDFS(cl, replication=2, block_size=128 * KiB).create(
+            "posts.txt", content)
+        return spark_answers_count(cl, "hdfs://posts.txt", 4)
+
+    @staticmethod
+    def _pagerank_edges(cl):
+        from repro.workloads.graphs import (
+            edge_list_content, uniform_digraph, with_ring)
+
+        edges = with_ring(uniform_digraph(200, 3, seed=5), 200)
+        HDFS(cl, replication=2).create("edges.txt", edge_list_content(edges))
+
+    @staticmethod
+    def _pagerank_bigdatabench(cl):
+        from repro.apps.pagerank import spark_pagerank_bigdatabench
+
+        TestFusionDifferential._pagerank_edges(cl)
+        return spark_pagerank_bigdatabench(
+            cl, "hdfs://edges.txt", 200, 4, iterations=3, collect_ranks=True)
+
+    @staticmethod
+    def _pagerank_hibench(cl):
+        from repro.apps.pagerank import spark_pagerank_hibench
+
+        TestFusionDifferential._pagerank_edges(cl)
+        return spark_pagerank_hibench(
+            cl, "hdfs://edges.txt", 200, 4, iterations=3, collect_ranks=True)
+
+    @pytest.mark.parametrize("workload", [
+        "answers_count", "pagerank_bigdatabench", "pagerank_hibench"])
+    def test_fused_matches_nofuse(self, workload, monkeypatch):
+        build = getattr(self, f"_{workload}")
+        monkeypatch.delenv("REPRO_SPARK_NOFUSE", raising=False)
+        fused = self._run(build)
+        monkeypatch.setenv("REPRO_SPARK_NOFUSE", "1")
+        nofuse = self._run(build)
+        assert fused == nofuse

@@ -36,14 +36,27 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.core import figures  # noqa: E402
 from repro.core.report import FigureResult, TableResult  # noqa: E402
 
-#: wall seconds on the seed engine (see module docstring)
-SEED_WALL = {"fig3": 19.7, "table2": 16.9, "fig4_mini": 0.75}
+#: wall seconds on the seed engine (see module docstring).  fig3/table2/
+#: fig4_mini were measured before the scheduler fast path (PR 1);
+#: fig4/fig6/fig7 before the data-plane batching work (fused narrow
+#: stages, combining shuffle, chunked content) on the same container.
+SEED_WALL = {
+    "fig3": 19.7,
+    "table2": 16.9,
+    "fig4_mini": 0.75,
+    "fig4": 218.08,
+    "fig6": 268.43,
+    "fig7": 77.93,
+}
 
 WORKLOADS = {
     "fig3": lambda: figures.fig3(),
     "table2": lambda: figures.table2(),
     "fig4_mini": lambda: figures.fig4(proc_counts=(8, 16),
                                       logical_size=8 * 10**9),
+    "fig4": lambda: figures.fig4(),
+    "fig6": lambda: figures.fig6(),
+    "fig7": lambda: figures.fig7(),
 }
 
 DEFAULT_OUT = REPO_ROOT / "benchmarks" / "results" / "BENCH_sim.json"
@@ -97,20 +110,27 @@ def main(argv: list[str] | None = None) -> int:
                     help="repetitions per workload; best wall time is kept")
     ap.add_argument("--slowpath", action="store_true",
                     help="force the reference scheduler (REPRO_SIM_SLOWPATH=1)")
+    ap.add_argument("--nofuse", action="store_true",
+                    help="disable Spark narrow-stage fusion and the "
+                         "combining shuffle (REPRO_SPARK_NOFUSE=1)")
     ap.add_argument("--out", type=Path, default=DEFAULT_OUT,
                     help=f"output JSON path (default: {DEFAULT_OUT})")
     args = ap.parse_args(argv)
 
     if args.slowpath:
         os.environ["REPRO_SIM_SLOWPATH"] = "1"
+    if args.nofuse:
+        os.environ["REPRO_SPARK_NOFUSE"] = "1"
     names = args.only or sorted(WORKLOADS)
 
     out = {
         "scheduler": "slowpath" if args.slowpath else "fast",
+        "data_plane": "nofuse" if args.nofuse else "fused",
         "python": sys.version.split()[0],
         "workloads": {},
     }
-    print(f"scheduler: {out['scheduler']}  (repeat={args.repeat})")
+    print(f"scheduler: {out['scheduler']}  data plane: {out['data_plane']}"
+          f"  (repeat={args.repeat})")
     for name in names:
         entry = run_workload(name, repeat=args.repeat)
         out["workloads"][name] = entry
