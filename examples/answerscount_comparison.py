@@ -12,15 +12,14 @@ Run:  python examples/answerscount_comparison.py
 
 from __future__ import annotations
 
-from repro.apps.answerscount import (
+from repro.apps import (
     hadoop_answers_count,
     mpi_answers_count,
     openmp_answers_count,
     spark_answers_count,
 )
-from repro.cluster import COMET, Cluster
 from repro.errors import MPIIntOverflowError, SimProcessError
-from repro.fs import HDFS, LocalFS
+from repro.platform import Dataset, ScenarioSpec
 from repro.units import GiB, fmt_bytes
 from repro.workloads.stackexchange import (
     StackExchangeSpec,
@@ -32,13 +31,11 @@ SPEC = StackExchangeSpec(n_posts=8000, answers_per_question=4)
 LOGICAL = 4 * GiB
 
 
-def make_cluster(nodes: int = 2) -> Cluster:
-    cluster = Cluster(COMET.with_nodes(nodes))
+def make_scenario(nodes: int = 2) -> ScenarioSpec:
     content = stackexchange_content(SPEC)
     scale = max(1, LOGICAL // content.size)
-    LocalFS(cluster).create_replicated("posts.txt", content, scale=scale)
-    HDFS(cluster, replication=nodes).create("posts.txt", content, scale=scale)
-    return cluster
+    return ScenarioSpec(nodes=nodes, datasets=(
+        Dataset("posts.txt", content, scale=scale),))
 
 
 def main() -> None:
@@ -48,29 +45,31 @@ def main() -> None:
 
     print(f"{'framework':<28} {'procs':>5} {'virtual time':>13} {'avg':>8}")
 
-    cl = make_cluster()
-    t, avg = openmp_answers_count(cl, cl.filesystems["local"], "posts.txt", 8)
+    scenario = make_scenario()
+
+    s = scenario.session()
+    t, avg = openmp_answers_count.run_in(s, s.local, "posts.txt", 8)
     print(f"{'OpenMP (1 node)':<28} {8:>5} {t:>11.2f} s {avg:>8.4f}")
 
     # MPI first hits the 2 GiB int wall at low process counts...
-    cl = make_cluster()
+    s = scenario.session()
     try:
-        mpi_answers_count(cl, cl.filesystems["local"], "posts.txt", 1, 1)
+        mpi_answers_count.run_in(s, s.local, "posts.txt", 1, 1)
     except SimProcessError as exc:
         assert isinstance(exc.__cause__, MPIIntOverflowError)
         print(f"{'MPI':<28} {1:>5}        FAILS: {exc.__cause__!s:.48}...")
 
     # ...and works once chunks fit in a C int (here: >= 2 procs for 4 GiB)
-    cl = make_cluster()
-    t, avg = mpi_answers_count(cl, cl.filesystems["local"], "posts.txt", 16, 8)
+    s = scenario.session()
+    t, avg = mpi_answers_count.run_in(s, s.local, "posts.txt", 16, 8)
     print(f"{'MPI (parallel I/O)':<28} {16:>5} {t:>11.2f} s {avg:>8.4f}")
 
-    cl = make_cluster()
-    t, avg = spark_answers_count(cl, "hdfs://posts.txt", 8)
+    t, avg = spark_answers_count.run_in(scenario.session(),
+                                        "hdfs://posts.txt", 8)
     print(f"{'Spark (HDFS)':<28} {16:>5} {t:>11.2f} s {avg:>8.4f}")
 
-    cl = make_cluster()
-    t, avg = hadoop_answers_count(cl, "hdfs://posts.txt")
+    t, avg = hadoop_answers_count.run_in(scenario.session(),
+                                         "hdfs://posts.txt")
     print(f"{'Hadoop MapReduce (HDFS)':<28} {16:>5} {t:>11.2f} s {avg:>8.4f}")
 
 

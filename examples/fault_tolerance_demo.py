@@ -12,31 +12,33 @@ Injects one worker failure into each framework and shows what happens:
 * **MPI**: no recovery — the job is lost and must restart (the paper's
   motivation for its future-work direction).
 
+All platforms are provisioned through :class:`~repro.platform.ScenarioSpec`
+sessions — the same declarative layer the experiment harness uses.
+
 Run:  python examples/fault_tolerance_demo.py
 """
 
 from __future__ import annotations
 
-from repro.cluster import COMET, Cluster
-from repro.fs import HDFS, LineContent
-from repro.mapreduce import JobConf, run_job
-from repro.spark import SparkContext
+from repro.fs import LineContent
+from repro.mapreduce import JobConf
+from repro.platform import Dataset, HDFSSpec, ScenarioSpec
 
-NODES = 3
+SCENARIO = ScenarioSpec(nodes=3, procs_per_node=2,
+                        hdfs=HDFSSpec(replication=2, block_size=4096))
 
 
 def hdfs_failover() -> None:
     print("== HDFS: datanode failure is transparent ==")
-    cluster = Cluster(COMET.with_nodes(NODES))
-    hdfs = HDFS(cluster, replication=2, block_size=4096)
-    payload = LineContent(lambda i: f"record-{i:05d}", 2000)
-    hdfs.create("data.txt", payload)
+    session = SCENARIO.with_(datasets=(
+        Dataset("data.txt", LineContent(lambda i: f"record-{i:05d}", 2000),
+                on=("hdfs",)),)).session()
+    hdfs = session.hdfs
     hdfs.kill_datanode(0)
     print(f"  killed datanode 0; under-replicated blocks: "
           f"{len(hdfs.under_replicated('data.txt'))}")
 
-    sc = SparkContext(cluster, executors_per_node=2,
-                      executor_nodes=[1, 2])
+    sc = session.spark(executor_nodes=[1, 2])
     count = sc.run(lambda sc: sc.text_file("hdfs://data.txt").count()).value
     print(f"  read back {count} records through surviving replicas — "
           "application never noticed\n")
@@ -44,8 +46,7 @@ def hdfs_failover() -> None:
 
 def spark_lineage_recompute() -> None:
     print("== Spark: executor loss -> lineage recomputation ==")
-    cluster = Cluster(COMET.with_nodes(NODES))
-    sc = SparkContext(cluster, executors_per_node=2)
+    sc = SCENARIO.session().spark()
 
     def app(sc):
         recomputed = sc.accumulator(0)
@@ -70,9 +71,9 @@ def spark_lineage_recompute() -> None:
 
 def hadoop_task_retry() -> None:
     print("== Hadoop: failed task attempt is re-executed ==")
-    cluster = Cluster(COMET.with_nodes(NODES))
-    HDFS(cluster, replication=2, block_size=4096).create(
-        "in.txt", LineContent(lambda i: f"k{i % 20} x", 2000))
+    session = SCENARIO.with_(datasets=(
+        Dataset("in.txt", LineContent(lambda i: f"k{i % 20} x", 2000),
+                on=("hdfs",)),)).session()
     conf = JobConf(
         name="retry-demo",
         input_url="hdfs://in.txt",
@@ -80,8 +81,8 @@ def hadoop_task_retry() -> None:
         reducer=lambda k, vs: [(k, sum(vs))],
         num_reduces=2,
     )
-    result = run_job(
-        cluster, conf,
+    result = session.mapreduce(
+        conf,
         fault_injector=lambda kind, tid, att: kind == "map" and tid == 0
         and att == 1,
     )

@@ -13,13 +13,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.apps.pagerank import (
+from repro.apps import (
     mpi_pagerank,
     spark_pagerank_bigdatabench,
     spark_pagerank_hibench,
 )
-from repro.cluster import COMET, Cluster
-from repro.fs import HDFS
+from repro.platform import Dataset, ScenarioSpec
 from repro.workloads.graphs import (
     GraphSpec,
     edge_list_content,
@@ -32,14 +31,11 @@ ITERATIONS = 8
 NODES = 2
 PROCS_PER_NODE = 8
 
-
-def spark_cluster() -> Cluster:
-    cluster = Cluster(COMET.with_nodes(NODES))
-    HDFS(cluster, replication=NODES).create("edges.txt", edge_list_content(EDGES))
-    return cluster
-
-
 EDGES = with_ring(GRAPH.generate(), GRAPH.n_vertices)
+
+BARE = ScenarioSpec(nodes=NODES, procs_per_node=PROCS_PER_NODE)
+SPARK = BARE.with_(datasets=(
+    Dataset("edges.txt", edge_list_content(EDGES), on=("hdfs",)),))
 
 
 def main() -> None:
@@ -50,28 +46,28 @@ def main() -> None:
 
     rows = []
 
-    t, ranks = mpi_pagerank(Cluster(COMET.with_nodes(NODES)), EDGES,
-                            GRAPH.n_vertices, NODES * PROCS_PER_NODE,
-                            PROCS_PER_NODE, iterations=ITERATIONS)
+    t, ranks = mpi_pagerank.run_in(BARE.session(), EDGES,
+                                   GRAPH.n_vertices, NODES * PROCS_PER_NODE,
+                                   PROCS_PER_NODE, iterations=ITERATIONS)
     np.testing.assert_allclose(ranks, expected, rtol=1e-9)
     rows.append(("MPI (dense exchange)", t))
 
-    t, ranks = spark_pagerank_bigdatabench(
-        spark_cluster(), "hdfs://edges.txt", GRAPH.n_vertices,
+    t, ranks = spark_pagerank_bigdatabench.run_in(
+        SPARK.session(), "hdfs://edges.txt", GRAPH.n_vertices,
         PROCS_PER_NODE, iterations=ITERATIONS, collect_ranks=True)
     got = np.array([ranks[v] for v in range(GRAPH.n_vertices)])
     np.testing.assert_allclose(got, expected, rtol=1e-9)
     rows.append(("Spark, tuned (Fig 5: partitionBy+persist)", t))
 
-    t, ranks = spark_pagerank_hibench(
-        spark_cluster(), "hdfs://edges.txt", GRAPH.n_vertices,
+    t, ranks = spark_pagerank_hibench.run_in(
+        SPARK.session(), "hdfs://edges.txt", GRAPH.n_vertices,
         PROCS_PER_NODE, iterations=ITERATIONS, collect_ranks=True)
     got = np.array([ranks[v] for v in range(GRAPH.n_vertices)])
     np.testing.assert_allclose(got, expected, rtol=1e-9)
     rows.append(("Spark, untuned (HiBench shape)", t))
 
-    t, _ = spark_pagerank_hibench(
-        spark_cluster(), "hdfs://edges.txt", GRAPH.n_vertices,
+    t, _ = spark_pagerank_hibench.run_in(
+        SPARK.session(), "hdfs://edges.txt", GRAPH.n_vertices,
         PROCS_PER_NODE, iterations=ITERATIONS, shuffle_transport="rdma")
     rows.append(("Spark, untuned + RDMA shuffle", t))
 

@@ -5,8 +5,9 @@ Section IV of the paper notes the observability gap between the stacks
 (Scalasca/Tau for HPC vs "no sufficient tooling in the Hadoop ecosystem").
 Because every runtime here runs over one simulator, one profiler covers
 them all: this example traces an MPI PageRank and a Spark (HiBench-shape)
-PageRank on the same graph and prints who-talked-to-whom byte matrices —
-making the paper's "shuffle volume" argument visible directly.
+PageRank on the same graph — via tracing :class:`~repro.platform.Session`
+objects — and prints who-talked-to-whom byte matrices, making the paper's
+"shuffle volume" argument visible directly.
 
 Two extra rows guard the simulator itself: per-shuffle record counts (the
 data-plane volume each phase pushes through Python) and the
@@ -20,11 +21,9 @@ from __future__ import annotations
 
 import time
 
-from repro.apps.pagerank import mpi_pagerank, spark_pagerank_hibench
-from repro.cluster import COMET, Cluster
-from repro.fs import HDFS
-from repro.sim import Trace
-from repro.tools import profile_trace
+from repro.apps import mpi_pagerank, spark_pagerank_hibench
+from repro.platform import Dataset, ScenarioSpec
+from repro.tools import profile_session
 from repro.units import fmt_bytes
 from repro.workloads.graphs import GraphSpec, edge_list_content, with_ring
 
@@ -34,37 +33,35 @@ ITERATIONS = 3
 
 EDGES = with_ring(GRAPH.generate(), GRAPH.n_vertices)
 
+BARE = ScenarioSpec(nodes=NODES, procs_per_node=4, trace=True)
+
 
 def profile_mpi():
-    trace = Trace()
-    cluster = Cluster(COMET.with_nodes(NODES), trace=trace)
+    session = BARE.session()
     t0 = time.perf_counter()
-    mpi_pagerank(cluster, EDGES, GRAPH.n_vertices, NODES * 4, 4,
-                 iterations=ITERATIONS)
+    mpi_pagerank.run_in(session, EDGES, GRAPH.n_vertices, NODES * 4, 4,
+                        iterations=ITERATIONS)
     wall = time.perf_counter() - t0
-    return profile_trace(trace, NODES, wall_s=wall,
-                         virtual_s=cluster.engine.makespan())
+    return profile_session(session, wall_s=wall)
 
 
 def profile_spark():
-    trace = Trace()
-    cluster = Cluster(COMET.with_nodes(NODES), trace=trace)
-    HDFS(cluster, replication=NODES).create("edges.txt",
-                                            edge_list_content(EDGES))
+    session = BARE.with_(datasets=(
+        Dataset("edges.txt", edge_list_content(EDGES), on=("hdfs",)),
+    )).session()
     t0 = time.perf_counter()
-    spark_pagerank_hibench(cluster, "hdfs://edges.txt", GRAPH.n_vertices, 4,
-                           iterations=ITERATIONS)
+    spark_pagerank_hibench.run_in(session, "hdfs://edges.txt",
+                                  GRAPH.n_vertices, 4, iterations=ITERATIONS)
     wall = time.perf_counter() - t0
     # every SparkEnv registers itself with the cluster; its map-output
     # tracker holds the write-side volume of each shuffle phase
     phases = {
         f"shuffle {sid} ({s['maps']} maps, {fmt_bytes(s['nbytes'])})":
             s["records"]
-        for env in cluster.spark_envs
+        for env in session.cluster.spark_envs
         for sid, s in env.tracker.shuffle_stats().items()
     }
-    return profile_trace(trace, NODES, phase_records=phases, wall_s=wall,
-                         virtual_s=cluster.engine.makespan())
+    return profile_session(session, phase_records=phases, wall_s=wall)
 
 
 def main() -> None:

@@ -1,10 +1,12 @@
 #!/usr/bin/env python3
 """Quickstart: the same word-count in all five programming models.
 
-Builds a 2-node simulated Comet slice, generates a small text corpus, and
-counts words with OpenMP, MPI, OpenSHMEM, Hadoop MapReduce and Spark —
-printing each framework's answer (identical) and virtual execution time
-(very much not identical).
+Declares a 2-node simulated Comet slice with a staged text corpus as a
+:class:`~repro.platform.ScenarioSpec`, then counts words with OpenMP, MPI,
+OpenSHMEM, Hadoop MapReduce and Spark — printing each framework's answer
+(identical) and virtual execution time (very much not identical).  Each
+framework gets a fresh :class:`~repro.platform.Session` of the *same*
+scenario: one platform, five models, which is the paper's whole method.
 
 Run:  python examples/quickstart.py
 """
@@ -15,34 +17,27 @@ from collections import Counter
 
 import numpy as np
 
-from repro.cluster import COMET, Cluster
-from repro.fs import HDFS, LineContent, LocalFS
+from repro.fs import LineContent
 from repro.fs.records import iter_all_records, read_split_records
-from repro.mapreduce import JobConf, run_job
-from repro.mpi import mpi_run
-from repro.openmp import omp_run
-from repro.shmem import shmem_run
-from repro.spark import SparkContext
+from repro.mapreduce import JobConf
+from repro.platform import Dataset, HDFSSpec, ScenarioSpec, Session
 
 WORDS = ["exascale", "convergence", "paradigm", "shuffle", "lineage",
          "collective", "latency", "locality"]
 N_LINES = 4000
 
-
-def make_cluster() -> Cluster:
-    cluster = Cluster(COMET.with_nodes(2))
-    content = LineContent(
+SCENARIO = ScenarioSpec(
+    nodes=2,
+    procs_per_node=4,
+    hdfs=HDFSSpec(replication=2, block_size=16 * 1024),
+    datasets=(Dataset("corpus.txt", LineContent(
         lambda i: " ".join(WORDS[(i + j) % len(WORDS)] for j in range(5)),
-        N_LINES,
-    )
-    LocalFS(cluster).create_replicated("corpus.txt", content)
-    HDFS(cluster, replication=2, block_size=16 * 1024).create(
-        "corpus.txt", content)
-    return cluster
+        N_LINES)),),
+)
 
 
-def reference_counts(cluster: Cluster) -> Counter:
-    lines = iter_all_records(cluster.filesystems["local"], "corpus.txt")
+def reference_counts(session: Session) -> Counter:
+    lines = iter_all_records(session.local, "corpus.txt")
     return Counter(w for line in lines for w in line.decode().split())
 
 
@@ -50,8 +45,8 @@ def reference_counts(cluster: Cluster) -> Counter:
 # OpenMP: one node, worksharing over chunks, reduction of partial counters
 # --------------------------------------------------------------------------
 
-def openmp_wordcount(cluster: Cluster) -> tuple[Counter, float]:
-    fs = cluster.filesystems["local"]
+def openmp_wordcount(session: Session) -> tuple[Counter, float]:
+    fs = session.local
     size = fs.size("corpus.txt")
     chunk = 16 * 1024
     n_chunks = -(-size // chunk)
@@ -69,7 +64,7 @@ def openmp_wordcount(cluster: Cluster) -> tuple[Counter, float]:
         total = omp.reduce(local, op=lambda a, b: a + b)
         return total
 
-    res = omp_run(cluster, region, num_threads=8)
+    res = session.openmp(region, 8)
     return res.returns[0], res.elapsed
 
 
@@ -77,8 +72,8 @@ def openmp_wordcount(cluster: Cluster) -> tuple[Counter, float]:
 # MPI: block-partitioned file, local counting, reduce to rank 0
 # --------------------------------------------------------------------------
 
-def mpi_wordcount(cluster: Cluster) -> tuple[Counter, float]:
-    fs = cluster.filesystems["local"]
+def mpi_wordcount(session: Session) -> tuple[Counter, float]:
+    fs = session.local
 
     def main(comm):
         size = fs.size("corpus.txt")
@@ -93,7 +88,7 @@ def mpi_wordcount(cluster: Cluster) -> tuple[Counter, float]:
             local.update(line.decode().split())
         return comm.reduce(local, op=lambda a, b: a + b, root=0)
 
-    res = mpi_run(cluster, main, nprocs=8, procs_per_node=4)
+    res = session.mpi(main)
     return res.returns[0], res.elapsed
 
 
@@ -101,8 +96,8 @@ def mpi_wordcount(cluster: Cluster) -> tuple[Counter, float]:
 # OpenSHMEM: per-PE dense count vectors in the symmetric heap, sum_to_all
 # --------------------------------------------------------------------------
 
-def shmem_wordcount(cluster: Cluster) -> tuple[Counter, float]:
-    fs = cluster.filesystems["local"]
+def shmem_wordcount(session: Session) -> tuple[Counter, float]:
+    fs = session.local
     vocab = {w: i for i, w in enumerate(WORDS)}
 
     def main(pe):
@@ -122,7 +117,7 @@ def shmem_wordcount(cluster: Cluster) -> tuple[Counter, float]:
         return Counter({w: int(pe.local(counts)[i])
                         for w, i in vocab.items()})
 
-    res = shmem_run(cluster, main, npes=8, pes_per_node=4)
+    res = session.shmem(main)
     return res.returns[0], res.elapsed
 
 
@@ -130,7 +125,7 @@ def shmem_wordcount(cluster: Cluster) -> tuple[Counter, float]:
 # Hadoop MapReduce: classic mapper/combiner/reducer
 # --------------------------------------------------------------------------
 
-def hadoop_wordcount(cluster: Cluster) -> tuple[Counter, float]:
+def hadoop_wordcount(session: Session) -> tuple[Counter, float]:
     conf = JobConf(
         name="wordcount",
         input_url="hdfs://corpus.txt",
@@ -139,7 +134,7 @@ def hadoop_wordcount(cluster: Cluster) -> tuple[Counter, float]:
         reducer=lambda k, vs: [(k, sum(vs))],
         num_reduces=4,
     )
-    result = run_job(cluster, conf)
+    result = session.mapreduce(conf)
     return Counter(dict(result.output)), result.elapsed
 
 
@@ -147,8 +142,8 @@ def hadoop_wordcount(cluster: Cluster) -> tuple[Counter, float]:
 # Spark: textFile -> flatMap -> reduceByKey
 # --------------------------------------------------------------------------
 
-def spark_wordcount(cluster: Cluster) -> tuple[Counter, float]:
-    sc = SparkContext(cluster, executors_per_node=4)
+def spark_wordcount(session: Session) -> tuple[Counter, float]:
+    sc = session.spark()
 
     def app(sc):
         return dict(
@@ -164,7 +159,7 @@ def spark_wordcount(cluster: Cluster) -> tuple[Counter, float]:
 
 
 def main() -> None:
-    reference = reference_counts(make_cluster())
+    reference = reference_counts(SCENARIO.session())
     print(f"corpus: {N_LINES} lines, {sum(reference.values())} words\n")
     runners = [
         ("OpenMP (8 threads)", openmp_wordcount),
@@ -175,7 +170,7 @@ def main() -> None:
     ]
     print(f"{'framework':<20} {'virtual time':>14}   correct?")
     for name, fn in runners:
-        counts, elapsed = fn(make_cluster())
+        counts, elapsed = fn(SCENARIO.session())
         ok = counts == reference
         print(f"{name:<20} {elapsed:>12.3f} s   {'yes' if ok else 'NO'}")
         assert ok, f"{name} produced wrong counts!"

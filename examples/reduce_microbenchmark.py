@@ -10,33 +10,33 @@ Run:  python examples/reduce_microbenchmark.py
 
 from __future__ import annotations
 
-from repro.apps.reduce_bench import (
+from repro.apps import (
     mpi_reduce_latency,
     shmem_reduce_latency,
     spark_reduce_latency,
 )
-from repro.cluster import COMET, Cluster
+from repro.platform import ScenarioSpec
 from repro.units import KiB, fmt_seconds
 
 SIZES = [4, 256, 4 * KiB, 64 * KiB, 512 * KiB]
-NODES = 2
-PROCS_PER_NODE = 8
-NPROCS = NODES * PROCS_PER_NODE
-
-
-def cluster() -> Cluster:
-    return Cluster(COMET.with_nodes(NODES))
+SCENARIO = ScenarioSpec(nodes=2, procs_per_node=8)
+NPROCS = SCENARIO.nprocs
+PROCS_PER_NODE = SCENARIO.procs_per_node
 
 
 def main() -> None:
     print(f"reduce microbenchmark: {NPROCS} processes "
           f"({PROCS_PER_NODE}/node), sizes {SIZES}\n")
 
-    mpi = mpi_reduce_latency(cluster(), SIZES, NPROCS, PROCS_PER_NODE)
-    shmem = shmem_reduce_latency(cluster(), SIZES, NPROCS, PROCS_PER_NODE)
-    spark = spark_reduce_latency(cluster(), SIZES, NPROCS, PROCS_PER_NODE)
-    rdma = spark_reduce_latency(cluster(), SIZES, NPROCS, PROCS_PER_NODE,
-                                shuffle_transport="rdma")
+    mpi = mpi_reduce_latency.run_in(SCENARIO.session(), SIZES, NPROCS,
+                                    PROCS_PER_NODE)
+    shmem = shmem_reduce_latency.run_in(SCENARIO.session(), SIZES, NPROCS,
+                                        PROCS_PER_NODE)
+    spark = spark_reduce_latency.run_in(SCENARIO.session(), SIZES, NPROCS,
+                                        PROCS_PER_NODE)
+    rdma = spark_reduce_latency.run_in(SCENARIO.session(), SIZES, NPROCS,
+                                       PROCS_PER_NODE,
+                                       shuffle_transport="rdma")
 
     header = f"{'size (B)':>10} {'MPI':>12} {'OpenSHMEM':>12} " \
              f"{'Spark':>12} {'Spark-RDMA':>12}"

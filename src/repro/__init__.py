@@ -8,18 +8,22 @@ harness that regenerates every table and figure of its evaluation section.
 
 Quick start::
 
-    from repro.cluster import Cluster
-    from repro.cluster.spec import COMET
-    from repro.mpi import mpi_run
+    from repro.platform import ScenarioSpec
 
     def main(comm):
         part = comm.rank + 1
         total = comm.allreduce(part)
         return total
 
-    cluster = Cluster(COMET.with_nodes(2))
-    result = mpi_run(cluster, main, nprocs=8, procs_per_node=4)
+    session = ScenarioSpec(nodes=2, procs_per_node=4).session()
+    result = session.mpi(main)
     print(result.returns[0], result.elapsed)
+
+The :mod:`repro.platform` layer declares the platform (nodes, filesystems,
+staged datasets) once and provisions it per measured run; the experiment
+suite runs on top of it, sharded across processes::
+
+    python -m repro run --all --quick --workers 4 --out results/
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record.

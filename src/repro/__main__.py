@@ -1,6 +1,199 @@
-"""``python -m repro`` — shortcut to the experiment runner CLI."""
+"""``python -m repro`` — the experiment suite CLI.
 
-from repro.core.experiment import main
+Subcommands::
+
+    python -m repro run fig3 --quick --workers 4 --out results/
+    python -m repro run --all --quick --workers 2 --out results/
+    python -m repro list --json
+    python -m repro report results/ [--golden benchmarks/golden_fingerprints.json]
+
+``run`` executes experiments through the platform driver
+(:mod:`repro.platform.driver`): independent sweep points shard across
+``--workers`` subprocesses and the merged figures/tables are bit-identical
+to a serial run.  ``report`` summarises a results directory's manifests
+and, with ``--golden``, diffs its fingerprints against a checked-in golden
+file (exit code 1 on mismatch — the CI quick-suite gate).
+
+Exit codes: 0 success, 1 experiment failure or fingerprint mismatch,
+2 usage error (unknown experiment id / malformed arguments).
+
+For backwards compatibility, ``python -m repro <experiment-id>`` (the old
+single-experiment form) is treated as ``python -m repro run <experiment-id>``
+and a bare ``python -m repro`` lists the registry.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+SUBCOMMANDS = ("run", "list", "report")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the paper's tables and figures")
+    sub = parser.add_subparsers(dest="command")
+
+    p_run = sub.add_parser("run", help="run experiments (sharded)")
+    p_run.add_argument("experiments", nargs="*", metavar="ID",
+                       help="experiment ids (see `list`)")
+    p_run.add_argument("--all", action="store_true",
+                       help="run every registered experiment")
+    p_run.add_argument("--quick", action="store_true",
+                       help="use reduced, CI-sized parameters")
+    p_run.add_argument("--workers", type=int, default=1, metavar="N",
+                       help="worker subprocesses (default: 1 = in-process)")
+    p_run.add_argument("--out", type=Path, default=None, metavar="DIR",
+                       help="write manifests + rendered results here")
+    p_run.add_argument("--json", action="store_true",
+                       help="print a JSON summary instead of rendered results")
+
+    p_list = sub.add_parser("list", help="list registered experiments")
+    p_list.add_argument("--json", action="store_true",
+                        help="machine-readable output")
+
+    p_report = sub.add_parser("report", help="summarise a results directory")
+    p_report.add_argument("results_dir", type=Path, metavar="DIR")
+    p_report.add_argument("--json", action="store_true",
+                          help="print the merged manifest as JSON")
+    p_report.add_argument("--golden", type=Path, default=None, metavar="FILE",
+                          help="diff fingerprints against a golden file; "
+                               "exit 1 on mismatch")
+    p_report.add_argument("--update-golden", action="store_true",
+                          help="rewrite the --golden file from this run's "
+                               "fingerprints instead of diffing")
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.core.experiment import _ensure_registry
+    from repro.platform import run_suite
+
+    registry = _ensure_registry()
+    if args.all:
+        ids = list(registry)
+    elif args.experiments:
+        ids = args.experiments
+    else:
+        print("nothing to run: give experiment ids or --all", file=sys.stderr)
+        return 2
+    unknown = [i for i in ids if i not in registry]
+    if unknown:
+        print(f"unknown experiment(s) {unknown}; have {sorted(registry)}",
+              file=sys.stderr)
+        return 2
+    if args.workers < 1:
+        print("--workers must be >= 1", file=sys.stderr)
+        return 2
+
+    progress = None if args.json else lambda msg: print(msg, file=sys.stderr)
+    suite = run_suite(ids, quick=args.quick, workers=args.workers,
+                      out_dir=args.out, progress=progress)
+    if args.json:
+        print(json.dumps(suite.manifest(), indent=1))
+    else:
+        for exp_id in ids:
+            print(suite.results[exp_id].render())
+            print()
+        if args.out is not None:
+            print(f"wrote manifests to {args.out}", file=sys.stderr)
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    from repro.core.experiment import _ensure_registry
+
+    registry = _ensure_registry()
+    if args.json:
+        print(json.dumps([
+            {
+                "id": exp.exp_id,
+                "description": exp.description,
+                "shard_param": exp.shard_param,
+                "quick_params": sorted(exp.quick_params),
+            }
+            for exp in registry.values()
+        ], indent=1))
+    else:
+        for exp in registry.values():
+            sharded = f"  [shards on {exp.shard_param}]" if exp.shard_param \
+                else ""
+            print(f"{exp.exp_id:22s} {exp.description}{sharded}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.platform import check_golden, read_manifest
+
+    try:
+        manifest = read_manifest(args.results_dir)
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(manifest, indent=1))
+    else:
+        experiments = manifest.get("experiments", {})
+        print(f"suite of {len(experiments)} experiments "
+              f"(workers={manifest.get('workers')}, "
+              f"quick={manifest.get('quick')}, "
+              f"python={manifest.get('python')})")
+        for exp_id, entry in experiments.items():
+            print(f"  {exp_id:22s} fp {entry['fingerprint']}  "
+                  f"{entry['wall_s']:8.2f}s  {entry['units']} unit(s)")
+
+    if args.golden is None:
+        return 0
+    if args.update_golden:
+        golden = {
+            "_comment": "Golden result fingerprints for the --quick suite "
+                        "(see EXPERIMENTS.md). Regenerate with: python -m "
+                        "repro run --all --quick --out results/ && python -m "
+                        "repro report results/ --golden <this file> "
+                        "--update-golden. table3 is excluded: its LoC census "
+                        "changes whenever the apps corpus is edited.",
+            "fingerprints": {
+                exp_id: entry["fingerprint"]
+                for exp_id, entry in manifest.get("experiments", {}).items()
+                if exp_id != "table3"
+            },
+        }
+        args.golden.write_text(json.dumps(golden, indent=1) + "\n")
+        print(f"wrote {args.golden}", file=sys.stderr)
+        return 0
+    try:
+        golden = json.loads(args.golden.read_text())
+    except FileNotFoundError:
+        print(f"golden file {args.golden} not found", file=sys.stderr)
+        return 2
+    problems = check_golden(manifest, golden)
+    if problems:
+        for line in problems:
+            print(f"FINGERPRINT MISMATCH  {line}", file=sys.stderr)
+        return 1
+    checked = len(golden.get("fingerprints", {}))
+    print(f"golden check ok ({checked} experiments match)", file=sys.stderr)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv:
+        argv = ["list"]
+    elif argv[0] not in SUBCOMMANDS and not argv[0].startswith("-"):
+        # old-style `python -m repro fig3 [--quick]`
+        argv = ["run", *argv]
+    args = _build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "list":
+        return _cmd_list(args)
+    return _cmd_report(args)
+
 
 if __name__ == "__main__":
     raise SystemExit(main())

@@ -8,7 +8,7 @@
   repro.core.experiment <id>``).
 """
 
-from repro.core.experiment import EXPERIMENTS, run_experiment
+from repro.core.experiment import EXPERIMENTS, get_experiment, run_experiment
 from repro.core.report import FigureResult, Series, TableResult
 
 __all__ = [
@@ -16,5 +16,6 @@ __all__ = [
     "TableResult",
     "Series",
     "EXPERIMENTS",
+    "get_experiment",
     "run_experiment",
 ]

@@ -11,16 +11,11 @@ from repro.apps.pagerank import (
     spark_pagerank_bigdatabench,
     spark_pagerank_hibench,
 )
-from repro.cluster import COMET, Cluster
 from repro.core.report import TableResult
-from repro.fs import HDFS, LineContent
-from repro.spark import SparkContext, StorageLevel
+from repro.fs import LineContent
+from repro.platform import Dataset, HDFSSpec, ScenarioSpec, Session
 from repro.units import GiB, MiB, fmt_seconds
 from repro.workloads.graphs import GraphSpec, with_ring
-
-
-def _comet(nodes: int) -> Cluster:
-    return Cluster(COMET.with_nodes(nodes))
 
 
 def ablation_persist(
@@ -37,20 +32,18 @@ def ablation_persist(
 
     graph = graph or GraphSpec(n_vertices=8000, out_degree=8)
     content = edge_list_content(with_ring(graph.generate(), graph.n_vertices))
-
-    def cluster_with_edges() -> Cluster:
-        cl = _comet(nodes)
-        HDFS(cl, replication=nodes).create("edges.txt", content)
-        return cl
+    scenario = ScenarioSpec(
+        nodes=nodes, procs_per_node=procs_per_node,
+        datasets=(Dataset("edges.txt", content, on=("hdfs",)),))
 
     rows = []
-    t_tuned, _ = spark_pagerank_bigdatabench(
-        cluster_with_edges(), "hdfs://edges.txt", graph.n_vertices,
+    t_tuned, _ = spark_pagerank_bigdatabench.run_in(
+        scenario.session(), "hdfs://edges.txt", graph.n_vertices,
         procs_per_node, iterations=iterations)
     rows.append(["partitionBy + persist (BigDataBench/Fig 5)",
                  fmt_seconds(t_tuned), "1.0x"])
-    t_plain, _ = spark_pagerank_hibench(
-        cluster_with_edges(), "hdfs://edges.txt", graph.n_vertices,
+    t_plain, _ = spark_pagerank_hibench.run_in(
+        scenario.session(), "hdfs://edges.txt", graph.n_vertices,
         procs_per_node, iterations=iterations)
     rows.append(["no tuning (HiBench shape)", fmt_seconds(t_plain),
                  f"{t_plain / t_tuned:.1f}x"])
@@ -76,8 +69,12 @@ def ablation_replication(
     scale = max(1, logical_size // content.size)
     rows = []
     for repl in replication_factors:
-        cl = _comet(nodes)
-        HDFS(cl, replication=repl).create("input.dat", content, scale=scale)
+        session = ScenarioSpec(
+            nodes=nodes, procs_per_node=executors_per_node,
+            hdfs=HDFSSpec(replication=repl),
+            datasets=(Dataset("input.dat", content, scale=scale,
+                              on=("hdfs",)),)).session()
+        cl = session.cluster
         moved = {"n": 0.0}
         orig = cl.network.transmit
 
@@ -87,8 +84,7 @@ def ablation_replication(
             return orig(proc, fabric, src, dst, nbytes, **kw)
 
         cl.network.transmit = spy
-        sc = SparkContext(cl, executors_per_node=executors_per_node,
-                          executor_nodes=list(range(executor_nodes)))
+        sc = session.spark(executor_nodes=list(range(executor_nodes)))
         result = sc.run(lambda sc: sc.text_file("hdfs://input.dat").count())
         from repro.units import fmt_bytes
 
@@ -110,10 +106,11 @@ def ablation_faults(*, nodes: int = 2, executors_per_node: int = 4) -> TableResu
     """
     rows = []
 
+    scenario = ScenarioSpec(nodes=nodes, procs_per_node=executors_per_node)
+
     # -- Spark: cached-data job, kill one executor between actions ----------
     def spark_time(kill: bool) -> float:
-        cl = _comet(nodes)
-        sc = SparkContext(cl, executors_per_node=executors_per_node)
+        sc = scenario.session().spark()
 
         def app(sc):
             import repro.sim as sim
@@ -134,20 +131,21 @@ def ablation_faults(*, nodes: int = 2, executors_per_node: int = 4) -> TableResu
                  fmt_seconds(faulted), f"{faulted / clean:.1f}x"])
 
     # -- Hadoop: retry one map attempt ---------------------------------------
-    from repro.fs import HDFS as _HDFS
-    from repro.mapreduce import JobConf, run_job
+    from repro.mapreduce import JobConf
 
     def hadoop_time(fail: bool) -> float:
-        cl = _comet(nodes)
-        _HDFS(cl, block_size=1 * MiB, replication=nodes).create(
-            "in.txt", LineContent(lambda i: f"k{i % 50} 1", 40_000))
+        session = scenario.with_(
+            hdfs=HDFSSpec(block_size=1 * MiB),
+            datasets=(Dataset("in.txt",
+                              LineContent(lambda i: f"k{i % 50} 1", 40_000),
+                              on=("hdfs",)),)).session()
         conf = JobConf(
             name="wc", input_url="hdfs://in.txt",
             mapper=lambda line: [(line.split()[0], 1)],
             reducer=lambda k, vs: [(k, sum(vs))], num_reduces=2)
         injector = (lambda kind, tid, attempt:
                     kind == "map" and tid == 0 and attempt == 1) if fail else None
-        return run_job(cl, conf, fault_injector=injector).elapsed
+        return session.mapreduce(conf, fault_injector=injector).elapsed
 
     clean, faulted = hadoop_time(False), hadoop_time(True)
     rows.append(["Hadoop (task re-execution)", fmt_seconds(clean),
@@ -179,11 +177,11 @@ def ablation_faults(*, nodes: int = 2, executors_per_node: int = 4) -> TableResu
 
         return body
 
-    clean_res = run_with_restart(lambda: _comet(nodes), mpi_job(False),
-                                 nodes * executors_per_node,
+    clean_res = run_with_restart(lambda: scenario.session().cluster,
+                                 mpi_job(False), nodes * executors_per_node,
                                  procs_per_node=executors_per_node)
-    fault_res = run_with_restart(lambda: _comet(nodes), mpi_job(True),
-                                 nodes * executors_per_node,
+    fault_res = run_with_restart(lambda: scenario.session().cluster,
+                                 mpi_job(True), nodes * executors_per_node,
                                  procs_per_node=executors_per_node)
     assert clean_res.result.returns[0] == fault_res.result.returns[0]
     rows.append(["MPI (checkpoint/restart extension)",

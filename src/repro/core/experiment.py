@@ -26,6 +26,12 @@ class Experiment:
     run: Callable[..., FigureResult | TableResult]
     #: smaller parameter overrides for quick runs / CI
     quick_params: dict[str, Any]
+    #: name of the keyword argument holding a sweep of *independent*
+    #: points (each provisions its own sessions), or ``None``.  The
+    #: platform driver shards the sweep across worker processes and merges
+    #: the per-point results bit-identically to a serial run
+    #: (:mod:`repro.platform.driver`).
+    shard_param: str | None = None
 
 
 def _registry() -> dict[str, Experiment]:
@@ -44,24 +50,28 @@ def _registry() -> dict[str, Experiment]:
         "table2": Experiment(
             "table2", "Parallel file read (HDFS vs local vs MPI-IO)",
             figures.table2,
-            {"logical_sizes": (10**9,), "nodes": 2}),
+            {"logical_sizes": (10**9,), "nodes": 2},
+            shard_param="logical_sizes"),
         "fig4": Experiment(
             "fig4", "StackExchange AnswersCount across frameworks",
             figures.fig4,
             {"proc_counts": (8, 16), "logical_size": 4 * GiB,
-             "spec": StackExchangeSpec(n_posts=4000)}),
+             "spec": StackExchangeSpec(n_posts=4000)},
+            shard_param="proc_counts"),
         "fig6": Experiment(
             "fig6", "BigDataBench PageRank (MPI vs Spark vs Spark-RDMA)",
             figures.fig6,
             {"node_counts": (1, 2), "procs_per_node": 4,
              "graph": GraphSpec(n_vertices=2000, out_degree=4),
-             "iterations": 3}),
+             "iterations": 3},
+            shard_param="node_counts"),
         "fig7": Experiment(
             "fig7", "HiBench PageRank (Spark vs Spark-RDMA)",
             figures.fig7,
             {"node_counts": (1, 2), "procs_per_node": 4,
              "graph": GraphSpec(n_vertices=2000, out_degree=4),
-             "iterations": 3}),
+             "iterations": 3},
+            shard_param="node_counts"),
         "table3": Experiment(
             "table3", "Maintainability: LoC + boilerplate", figures.table3, {}),
         "ablation-persist": Experiment(
@@ -74,7 +84,8 @@ def _registry() -> dict[str, Experiment]:
             "ablation-replication",
             "HDFS replication factor vs executor locality (Section V-B2)",
             ablations.ablation_replication,
-            {"logical_size": 2 * GiB}),
+            {"logical_size": 2 * GiB},
+            shard_param="replication_factors"),
         "ablation-faults": Experiment(
             "ablation-faults",
             "Fault recovery cost: Spark lineage vs Hadoop retry",
@@ -84,7 +95,8 @@ def _registry() -> dict[str, Experiment]:
             "k-means MPI vs Spark on one platform (related work [38])",
             extras.extra_kmeans,
             {"node_counts": (1, 2), "n_points": 2000, "iterations": 3,
-             "procs_per_node": 4}),
+             "procs_per_node": 4},
+            shard_param="node_counts"),
         "extra-mapreduce": Experiment(
             "extra-mapreduce",
             "MapReduce engines head-to-head (related work [36]/[37])",
@@ -109,14 +121,19 @@ def _ensure_registry() -> dict[str, Experiment]:
     return EXPERIMENTS
 
 
-def run_experiment(exp_id: str, *, quick: bool = False,
-                   **overrides: Any) -> FigureResult | TableResult:
-    """Run one experiment by id; ``quick=True`` applies the CI-sized params."""
+def get_experiment(exp_id: str) -> Experiment:
+    """Look up one registered experiment by id."""
     reg = _ensure_registry()
     if exp_id not in reg:
         raise KeyError(
             f"unknown experiment {exp_id!r}; have {sorted(reg)}")
-    exp = reg[exp_id]
+    return reg[exp_id]
+
+
+def run_experiment(exp_id: str, *, quick: bool = False,
+                   **overrides: Any) -> FigureResult | TableResult:
+    """Run one experiment by id; ``quick=True`` applies the CI-sized params."""
+    exp = get_experiment(exp_id)
     params = dict(exp.quick_params) if quick else {}
     params.update(overrides)
     return exp.run(**params)

@@ -12,19 +12,14 @@ Two comparisons the paper's related-work section identifies as missing:
 
 from __future__ import annotations
 
-from repro.apps.kmeans import kmeans_points, mpi_kmeans, spark_kmeans
-from repro.cluster import COMET, Cluster
+from repro.apps import mpi_kmeans, spark_kmeans
+from repro.apps.kmeans import kmeans_points
 from repro.core.report import FigureResult, Series, TableResult
-from repro.fs import HDFS, LocalFS
-from repro.mapreduce import JobConf, run_job
+from repro.mapreduce import JobConf
 from repro.mpi.mapreduce import run_mpi_mapreduce
-from repro.spark import SparkContext
+from repro.platform import Dataset, ScenarioSpec
 from repro.units import fmt_seconds
 from repro.workloads.stackexchange import StackExchangeSpec, stackexchange_content
-
-
-def _comet(nodes: int) -> Cluster:
-    return Cluster(COMET.with_nodes(nodes))
 
 
 def extra_kmeans(
@@ -49,12 +44,13 @@ def extra_kmeans(
     spark = Series("Spark")
     reference = None
     for nodes in node_counts:
-        t, cent = mpi_kmeans(_comet(nodes), points, k,
-                             nodes * procs_per_node, procs_per_node,
-                             iterations=iterations)
+        scenario = ScenarioSpec(nodes=nodes, procs_per_node=procs_per_node)
+        t, cent = mpi_kmeans.run_in(scenario.session(), points, k,
+                                    scenario.nprocs, procs_per_node,
+                                    iterations=iterations)
         mpi.add(nodes, t)
-        t, cent_s = spark_kmeans(_comet(nodes), points, k, procs_per_node,
-                                 iterations=iterations)
+        t, cent_s = spark_kmeans.run_in(scenario.session(), points, k,
+                                        procs_per_node, iterations=iterations)
         spark.add(nodes, t)
         if reference is None:
             reference = cent
@@ -73,6 +69,11 @@ def extra_mapreduce(
     """Word-count over the posts corpus: Hadoop vs MPI-MapReduce vs Spark."""
     spec = spec or StackExchangeSpec(n_posts=10_000)
     content = stackexchange_content(spec)
+    hdfs_scenario = ScenarioSpec(
+        nodes=nodes, procs_per_node=procs_per_node,
+        datasets=(Dataset("posts.txt", content, on=("hdfs",)),))
+    local_scenario = hdfs_scenario.with_(
+        datasets=(Dataset("posts.txt", content, on=("local",)),))
 
     def mapper(line: str):
         return [(w, 1) for w in line.split(",")[4].split()[:8]]
@@ -82,28 +83,22 @@ def extra_mapreduce(
 
     rows = []
 
-    cl = _comet(nodes)
-    HDFS(cl, replication=nodes).create("posts.txt", content)
-    hadoop = run_job(cl, JobConf(
+    hadoop = hdfs_scenario.session().mapreduce(JobConf(
         name="wc", input_url="hdfs://posts.txt", mapper=mapper,
         reducer=reducer, combiner=reducer,
-        num_reduces=nodes * procs_per_node),
-        map_slots_per_node=procs_per_node)
+        num_reduces=nodes * procs_per_node))
     reference = dict(hadoop.output)
     rows.append(["Hadoop MapReduce", fmt_seconds(hadoop.elapsed)])
 
-    cl = _comet(nodes)
-    LocalFS(cl).create_replicated("posts.txt", content)
+    s = local_scenario.session()
     mpi_out, mpi_t = run_mpi_mapreduce(
-        cl, cl.filesystems["local"], "posts.txt", mapper, reducer,
+        s.cluster, s.local, "posts.txt", mapper, reducer,
         nprocs=nodes * procs_per_node, procs_per_node=procs_per_node,
         combiner=reducer)
     assert dict(mpi_out) == reference, "MPI MapReduce output mismatch"
     rows.append(["MapReduce over MPI ([36]/[37])", fmt_seconds(mpi_t)])
 
-    cl = _comet(nodes)
-    HDFS(cl, replication=nodes).create("posts.txt", content)
-    sc = SparkContext(cl, executors_per_node=procs_per_node)
+    sc = hdfs_scenario.session().spark()
 
     def app(sc):
         return dict(

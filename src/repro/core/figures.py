@@ -1,4 +1,4 @@
-"""One function per paper table/figure: build cluster, run, collect.
+"""One function per paper table/figure: declare scenario, run, collect.
 
 Default parameters are sized so the whole suite regenerates in minutes on a
 laptop while preserving the paper's qualitative shapes; every function takes
@@ -7,43 +7,38 @@ scale up.  Data *logical* sizes match the paper via the filesystem
 ``scale`` mechanism (an "80 GB" file carries MBs of physical payload); graph
 sizes are physically real and therefore default below the paper's 10^6
 vertices (see EXPERIMENTS.md for the sizing discussion).
+
+All platform provisioning goes through :mod:`repro.platform`: each measured
+point declares a :class:`~repro.platform.ScenarioSpec` and runs inside a
+fresh :class:`~repro.platform.Session` — one simulated allocation per
+measurement, identical across frameworks.
 """
 
 from __future__ import annotations
 
-from typing import Callable
-
-from repro.apps.answerscount import (
+from repro.apps import (
     hadoop_answers_count,
     mpi_answers_count,
-    openmp_answers_count,
-    spark_answers_count,
-)
-from repro.apps.fileread import mpi_parallel_read, spark_parallel_read
-from repro.apps.pagerank import (
     mpi_pagerank,
+    mpi_parallel_read,
+    mpi_reduce_latency,
+    openmp_answers_count,
+    shmem_reduce_latency,
+    spark_answers_count,
     spark_pagerank_bigdatabench,
     spark_pagerank_hibench,
-)
-from repro.apps.reduce_bench import (
-    mpi_reduce_latency,
-    shmem_reduce_latency,
+    spark_parallel_read,
     spark_reduce_latency,
 )
-from repro.cluster import COMET, Cluster
+from repro.cluster import COMET
 from repro.core.metrics import TABLE3_CORPUS, measure_module
 from repro.core.report import FigureResult, Series, TableResult
 from repro.errors import SimProcessError
-from repro.fs import HDFS, LocalFS
 from repro.fs.content import LineContent
+from repro.platform import Dataset, ScenarioSpec, Session
 from repro.units import GiB, KiB, MiB, fmt_bytes, fmt_rate
 from repro.workloads.graphs import GraphSpec
 from repro.workloads.stackexchange import StackExchangeSpec, stackexchange_content
-
-
-def _comet(nodes: int) -> Cluster:
-    return Cluster(COMET.with_nodes(nodes))
-
 
 # ---------------------------------------------------------------------------
 # Table I — experimental setup
@@ -83,22 +78,24 @@ def fig3(
 ) -> FigureResult:
     """Reduce latency vs message size: MPI, Spark, Spark-RDMA (64 procs)."""
     sizes = sizes or [4, 64, 1 * KiB, 16 * KiB, 256 * KiB, 1 * MiB]
-    nprocs = nodes * procs_per_node
+    scenario = ScenarioSpec(nodes=nodes, procs_per_node=procs_per_node)
+    nprocs = scenario.nprocs
     fig = FigureResult("Fig 3", "Reduce microbenchmark"
                        f" ({nprocs} processes, {procs_per_node}/node)",
                        "message size (bytes)", "latency (s)")
 
-    mpi = mpi_reduce_latency(_comet(nodes), sizes, nprocs, procs_per_node,
-                             iterations=iterations)
+    mpi = mpi_reduce_latency.run_in(scenario.session(), sizes, nprocs,
+                                    procs_per_node, iterations=iterations)
     fig.series.append(Series("MPI", [(s, mpi[s]) for s in sizes]))
     for transport, label in (("socket", "Spark"), ("rdma", "Spark-RDMA")):
-        lat = spark_reduce_latency(_comet(nodes), sizes, nprocs,
-                                   procs_per_node, shuffle_transport=transport,
-                                   iterations=max(1, iterations // 3))
+        lat = spark_reduce_latency.run_in(
+            scenario.session(), sizes, nprocs, procs_per_node,
+            shuffle_transport=transport, iterations=max(1, iterations // 3))
         fig.series.append(Series(label, [(s, lat[s]) for s in sizes]))
     if include_shmem:
-        shm = shmem_reduce_latency(_comet(nodes), sizes, nprocs,
-                                   procs_per_node, iterations=iterations)
+        shm = shmem_reduce_latency.run_in(scenario.session(), sizes, nprocs,
+                                          procs_per_node,
+                                          iterations=iterations)
         fig.series.append(Series("OpenSHMEM", [(s, shm[s]) for s in sizes]))
     return fig
 
@@ -108,15 +105,19 @@ def fig3(
 # ---------------------------------------------------------------------------
 
 
-def _make_input(cluster: Cluster, logical_size: int, *, physical: int = 2 * MiB,
-                replication: int | None = None) -> None:
-    """Install the read benchmark's input on local scratch and HDFS."""
+def _read_scenario(nodes: int, procs_per_node: int, logical_size: int, *,
+                   physical: int = 2 * MiB,
+                   replication: int | None = None) -> ScenarioSpec:
+    """Scenario with the read benchmark's input on local scratch and HDFS."""
     line = "payload-%08d-" + "z" * 100
     content = LineContent(lambda i: line % i, physical // 115)
     scale = max(1, logical_size // content.size)
-    LocalFS(cluster).create_replicated("input.dat", content, scale=scale)
-    HDFS(cluster, replication=replication or len(cluster.nodes)).create(
-        "input.dat", content, scale=scale)
+    from repro.platform import HDFSSpec
+
+    return ScenarioSpec(
+        nodes=nodes, procs_per_node=procs_per_node,
+        hdfs=HDFSSpec(replication=replication),
+        datasets=(Dataset("input.dat", content, scale=scale),))
 
 
 def table2(
@@ -133,22 +134,17 @@ def table2(
     from repro.units import fmt_seconds
 
     for size in logical_sizes:
-        cl = _comet(nodes)
-        _make_input(cl, size)
-        t_hdfs, n1 = spark_parallel_read(cl, "hdfs://input.dat",
-                                         procs_per_node)
-        cl = _comet(nodes)
-        _make_input(cl, size)
+        scenario = _read_scenario(nodes, procs_per_node, size)
+        t_hdfs, n1 = spark_parallel_read.run_in(
+            scenario.session(), "hdfs://input.dat", procs_per_node)
         # local files split at the same ~128 MB granularity HDFS blocks give
         splits = max(nodes * procs_per_node, size // (128 * 10**6))
-        t_local, n2 = spark_parallel_read(cl, "local://input.dat",
-                                          procs_per_node,
-                                          min_partitions=splits)
-        cl = _comet(nodes)
-        _make_input(cl, size)
-        t_mpi, n3 = mpi_parallel_read(cl, cl.filesystems["local"],
-                                      "input.dat", nodes * procs_per_node,
-                                      procs_per_node)
+        t_local, n2 = spark_parallel_read.run_in(
+            scenario.session(), "local://input.dat", procs_per_node,
+            min_partitions=splits)
+        s = scenario.session()
+        t_mpi, n3 = mpi_parallel_read.run_in(
+            s, s.local, "input.dat", nodes * procs_per_node, procs_per_node)
         assert n1 == n2 == n3, "implementations disagree on record count"
         table.rows.append([fmt_bytes(size), fmt_seconds(t_hdfs),
                            fmt_seconds(t_local), fmt_seconds(t_mpi)])
@@ -176,13 +172,11 @@ def fig4(
     spec = spec or StackExchangeSpec(n_posts=20_000)
     content = stackexchange_content(spec)
     scale = max(1, logical_size // content.size)
-    max_nodes = max(-(-p // procs_per_node) for p in proc_counts)
 
-    def cluster_with_data(nodes: int) -> Cluster:
-        cl = _comet(nodes)
-        LocalFS(cl).create_replicated("posts.txt", content, scale=scale)
-        HDFS(cl, replication=nodes).create("posts.txt", content, scale=scale)
-        return cl
+    def session_with_data(nodes: int) -> Session:
+        return ScenarioSpec(
+            nodes=nodes, procs_per_node=procs_per_node,
+            datasets=(Dataset("posts.txt", content, scale=scale),)).session()
 
     fig = FigureResult("Fig 4", "StackExchange AnswersCount"
                        f" ({fmt_bytes(content.size * scale)} dataset,"
@@ -197,17 +191,16 @@ def fig4(
         nodes = -(-p // procs_per_node)
         # OpenMP: single node only
         if p <= node_cores:
-            cl = cluster_with_data(1)
-            t, _ = openmp_answers_count(cl, cl.filesystems["local"],
-                                        "posts.txt", p)
+            s = session_with_data(1)
+            t, _ = openmp_answers_count.run_in(s, s.local, "posts.txt", p)
             omp.add(p, t)
         else:
             omp.add(p, None)
         # MPI: absent where a chunk exceeds INT_MAX
-        cl = cluster_with_data(nodes)
+        s = session_with_data(nodes)
         try:
-            t, _ = mpi_answers_count(cl, cl.filesystems["local"],
-                                     "posts.txt", p, procs_per_node)
+            t, _ = mpi_answers_count.run_in(s, s.local, "posts.txt", p,
+                                            procs_per_node)
             mpi.add(p, t)
         except SimProcessError as exc:
             from repro.errors import MPIIntOverflowError
@@ -215,13 +208,13 @@ def fig4(
             if not isinstance(exc.__cause__, MPIIntOverflowError):
                 raise
             mpi.add(p, None)
-        cl = cluster_with_data(nodes)
-        t, _ = spark_answers_count(cl, "hdfs://posts.txt", procs_per_node,
-                                   executor_nodes=list(range(nodes)))
+        t, _ = spark_answers_count.run_in(
+            session_with_data(nodes), "hdfs://posts.txt", procs_per_node,
+            executor_nodes=list(range(nodes)))
         spark.add(p, t)
-        cl = cluster_with_data(nodes)
-        t, _ = hadoop_answers_count(cl, "hdfs://posts.txt",
-                                    map_slots_per_node=procs_per_node)
+        t, _ = hadoop_answers_count.run_in(
+            session_with_data(nodes), "hdfs://posts.txt",
+            map_slots_per_node=procs_per_node)
         hadoop.add(p, t)
     fig.series = [omp, mpi, spark, hadoop]
     return fig
@@ -259,11 +252,12 @@ def _pagerank_inputs(
     return mpi_edges, ring_edge_list_content(sample), n_spark, record_scale
 
 
-def _spark_pagerank_cluster(nodes: int, content, record_scale: int) -> Cluster:
-    cl = _comet(nodes)
-    HDFS(cl, replication=nodes).create("edges.txt", content,
-                                       scale=record_scale)
-    return cl
+def _spark_pagerank_session(nodes: int, procs_per_node: int, content,
+                            record_scale: int) -> Session:
+    return ScenarioSpec(
+        nodes=nodes, procs_per_node=procs_per_node,
+        datasets=(Dataset("edges.txt", content, scale=record_scale,
+                          on=("hdfs",)),)).session()
 
 
 def fig6(
@@ -285,17 +279,19 @@ def fig6(
         "nodes", "execution time (s)")
     s_mpi = Series("MPI")
     for nodes in node_counts:
-        t, _ = mpi_pagerank(_comet(nodes), mpi_edges, graph.n_vertices,
-                            nodes * procs_per_node, procs_per_node,
-                            iterations=iterations)
+        t, _ = mpi_pagerank.run_in(
+            ScenarioSpec(nodes=nodes, procs_per_node=procs_per_node).session(),
+            mpi_edges, graph.n_vertices, nodes * procs_per_node,
+            procs_per_node, iterations=iterations)
         s_mpi.add(nodes, t)
     fig.series.append(s_mpi)
     for transport, label in (("socket", "Spark"), ("rdma", "Spark-RDMA")):
         s = Series(label)
         for nodes in node_counts:
-            cl = _spark_pagerank_cluster(nodes, content, record_scale)
-            t, _ = spark_pagerank_bigdatabench(
-                cl, "hdfs://edges.txt", n_spark, procs_per_node,
+            session = _spark_pagerank_session(nodes, procs_per_node, content,
+                                              record_scale)
+            t, _ = spark_pagerank_bigdatabench.run_in(
+                session, "hdfs://edges.txt", n_spark, procs_per_node,
                 iterations=iterations, shuffle_transport=transport,
                 record_scale=record_scale)
             s.add(nodes, t)
@@ -323,9 +319,10 @@ def fig7(
     for transport, label in (("socket", "Spark"), ("rdma", "Spark-RDMA")):
         s = Series(label)
         for nodes in node_counts:
-            cl = _spark_pagerank_cluster(nodes, content, record_scale)
-            t, _ = spark_pagerank_hibench(
-                cl, "hdfs://edges.txt", n_spark, procs_per_node,
+            session = _spark_pagerank_session(nodes, procs_per_node, content,
+                                              record_scale)
+            t, _ = spark_pagerank_hibench.run_in(
+                session, "hdfs://edges.txt", n_spark, procs_per_node,
                 iterations=iterations, shuffle_transport=transport,
                 record_scale=record_scale)
             s.add(nodes, t)

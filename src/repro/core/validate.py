@@ -11,21 +11,20 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.apps.answerscount import (
+from repro.apps import (
     hadoop_answers_count,
     mpi_answers_count,
+    mpi_kmeans,
+    mpi_pagerank,
     openmp_answers_count,
     spark_answers_count,
-)
-from repro.apps.kmeans import kmeans_points, mpi_kmeans, reference_kmeans, spark_kmeans
-from repro.apps.pagerank import (
-    mpi_pagerank,
+    spark_kmeans,
     spark_pagerank_bigdatabench,
     spark_pagerank_hibench,
 )
-from repro.cluster import COMET, Cluster
+from repro.apps.kmeans import kmeans_points, reference_kmeans
 from repro.core.report import TableResult
-from repro.fs import HDFS, LocalFS
+from repro.platform import Dataset, HDFSSpec, ScenarioSpec, Session
 from repro.units import KiB
 from repro.workloads.graphs import (
     edge_list_content,
@@ -40,14 +39,11 @@ from repro.workloads.stackexchange import (
 )
 
 
-def _comet(nodes: int = 2) -> Cluster:
-    return Cluster(COMET.with_nodes(nodes))
-
-
 def validate(*, n_posts: int = 3000, n_vertices: int = 400,
              iterations: int = 5) -> TableResult:
     """Run every (benchmark, framework) pair and report agreement."""
     rows: list[list[str]] = []
+    bare = ScenarioSpec(nodes=2, procs_per_node=4)
 
     def row(bench: str, model: str, ok: bool, detail: str) -> None:
         rows.append([bench, model, "ok" if ok else "MISMATCH", detail])
@@ -56,19 +52,18 @@ def validate(*, n_posts: int = 3000, n_vertices: int = 400,
     spec = StackExchangeSpec(n_posts=n_posts)
     expected = expected_average_answers(spec)
     content = stackexchange_content(spec)
+    ac_scenario = bare.with_(
+        hdfs=HDFSSpec(replication=2, block_size=64 * KiB),
+        datasets=(Dataset("posts.txt", content),))
 
-    def ac_cluster() -> Cluster:
-        cl = _comet()
-        LocalFS(cl).create_replicated("posts.txt", content)
-        HDFS(cl, replication=2, block_size=64 * KiB).create(
-            "posts.txt", content)
-        return cl
+    def ac_session() -> Session:
+        return ac_scenario.session()
 
-    cl = ac_cluster()
-    _, avg = openmp_answers_count(cl, cl.filesystems["local"], "posts.txt", 8)
+    s = ac_session()
+    _, avg = openmp_answers_count.run_in(s, s.local, "posts.txt", 8)
     row("AnswersCount", "OpenMP", avg == expected, f"avg={avg:.4f}")
-    cl = ac_cluster()
-    _, avg = mpi_answers_count(cl, cl.filesystems["local"], "posts.txt", 8, 4)
+    s = ac_session()
+    _, avg = mpi_answers_count.run_in(s, s.local, "posts.txt", 8, 4)
     # The C-style splitter mis-assigns records cut exactly at chunk
     # boundaries (a real-world bug class this implementation reproduces,
     # see apps/answerscount/mpi_ac.py); on the *periodic* synthetic corpus
@@ -76,30 +71,28 @@ def validate(*, n_posts: int = 3000, n_vertices: int = 400,
     # error real dumps would show.
     row("AnswersCount", "MPI", abs(avg - expected) < 0.05 * expected,
         f"avg={avg:.4f}")
-    cl = ac_cluster()
-    _, avg = spark_answers_count(cl, "hdfs://posts.txt", 4)
+    _, avg = spark_answers_count.run_in(ac_session(), "hdfs://posts.txt", 4)
     row("AnswersCount", "Spark", avg == expected, f"avg={avg:.4f}")
-    cl = ac_cluster()
-    _, avg = hadoop_answers_count(cl, "hdfs://posts.txt")
+    _, avg = hadoop_answers_count.run_in(ac_session(), "hdfs://posts.txt")
     row("AnswersCount", "Hadoop", avg == expected, f"avg={avg:.4f}")
 
     # -- PageRank ----------------------------------------------------------------
     edges = with_ring(uniform_digraph(n_vertices, 4, seed=9), n_vertices)
     ref = reference_pagerank(edges, n_vertices, iterations=iterations)
+    pr_scenario = bare.with_(
+        hdfs=HDFSSpec(replication=2),
+        datasets=(Dataset("edges.txt", edge_list_content(edges),
+                          on=("hdfs",)),))
 
-    def pr_cluster() -> Cluster:
-        cl = _comet()
-        HDFS(cl, replication=2).create("edges.txt", edge_list_content(edges))
-        return cl
-
-    _, ranks = mpi_pagerank(_comet(), edges, n_vertices, 8, 4,
-                            iterations=iterations)
+    _, ranks = mpi_pagerank.run_in(bare.session(), edges, n_vertices, 8, 4,
+                                   iterations=iterations)
     row("PageRank", "MPI", bool(np.allclose(ranks, ref, rtol=1e-9)),
         f"sum={ranks.sum():.3f}")
     for fn, name in ((spark_pagerank_bigdatabench, "Spark (BigDataBench)"),
                      (spark_pagerank_hibench, "Spark (HiBench)")):
-        _, got = fn(pr_cluster(), "hdfs://edges.txt", n_vertices, 4,
-                    iterations=iterations, collect_ranks=True)
+        _, got = fn.run_in(pr_scenario.session(), "hdfs://edges.txt",
+                           n_vertices, 4, iterations=iterations,
+                           collect_ranks=True)
         arr = np.array([got[v] for v in range(n_vertices)])
         row("PageRank", name, bool(np.allclose(arr, ref, rtol=1e-9)),
             f"sum={arr.sum():.3f}")
@@ -107,10 +100,12 @@ def validate(*, n_posts: int = 3000, n_vertices: int = 400,
     # -- k-means -----------------------------------------------------------------
     points = kmeans_points(500, dim=3, k=4)
     kref = reference_kmeans(points, 4, iterations=iterations)
-    _, cent = mpi_kmeans(_comet(), points, 4, 8, 4, iterations=iterations)
+    _, cent = mpi_kmeans.run_in(bare.session(), points, 4, 8, 4,
+                                iterations=iterations)
     row("k-means", "MPI", bool(np.allclose(cent, kref, rtol=1e-9)),
         f"inertia-centroids={np.linalg.norm(cent):.4f}")
-    _, cent = spark_kmeans(_comet(), points, 4, 4, iterations=iterations)
+    _, cent = spark_kmeans.run_in(bare.session(), points, 4, 4,
+                                  iterations=iterations)
     row("k-means", "Spark", bool(np.allclose(cent, kref, rtol=1e-9)),
         f"inertia-centroids={np.linalg.norm(cent):.4f}")
 

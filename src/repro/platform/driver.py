@@ -1,0 +1,337 @@
+"""Process-parallel experiment driver with a serial≡parallel guarantee.
+
+The registry's experiments decompose into *units*: an experiment whose
+sweep parameter (``Experiment.shard_param``) holds N independent points
+becomes N units, each provisioning its own sessions, so the whole suite —
+and the points inside one figure — shard across ``workers`` subprocesses.
+Each unit run emits a manifest (params, wall seconds, result fingerprint)
+into a results directory and a merge step reassembles
+:class:`~repro.core.report.FigureResult`/:class:`~repro.core.report.TableResult`
+objects that are **bit-identical to serial execution**: every unit is a
+self-contained deterministic simulation, and the merge concatenates points
+and rows in planned (not completion) order.  The fingerprint discipline of
+the scheduler and data-plane PRs (DESIGN.md §4.1–4.2) therefore extends to
+the orchestration layer: ``workers=4`` and ``workers=1`` must digest
+identically, and CI diffs the quick suite against a checked-in golden file.
+
+Programmatic use::
+
+    from repro.platform import run_suite
+    suite = run_suite(["fig4", "fig6"], quick=True, workers=4,
+                      out_dir=Path("results"))
+    suite.results["fig4"].render()
+
+Command-line use (``python -m repro``)::
+
+    python -m repro run fig3 --quick --workers 4 --out results/
+    python -m repro list --json
+    python -m repro report results/
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+import hashlib
+import inspect
+import json
+import multiprocessing
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.core.report import FigureResult, TableResult
+
+# ---------------------------------------------------------------------------
+# fingerprints
+# ---------------------------------------------------------------------------
+
+
+def fingerprint_result(result: FigureResult | TableResult) -> str:
+    """Bit-exact digest of a figure/table's virtual-time outputs.
+
+    Floats are hashed via their hex representation, so two runs produced
+    identical simulations iff their fingerprints match — the invariant the
+    fast/slow scheduler and fused/nofuse data-plane diffs pin, reused here
+    for serial-vs-sharded driver runs.
+    """
+    h = hashlib.sha256()
+    if isinstance(result, TableResult):
+        for row in result.rows:
+            h.update(("|".join(str(c) for c in row) + "\n").encode())
+    else:
+        for s in result.series:
+            for x, y in s.points:
+                y_repr = "-" if y is None else (
+                    y.hex() if isinstance(y, float) else str(y))
+                h.update(f"{s.name}|{x}|{y_repr}\n".encode())
+    return h.hexdigest()[:16]
+
+
+# ---------------------------------------------------------------------------
+# planning: experiments -> units
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Unit:
+    """One independently runnable shard of an experiment.
+
+    ``params`` is fully resolved (quick params and overrides already
+    folded in), so a unit is self-contained and picklable — exactly what a
+    worker subprocess needs.
+    """
+
+    exp_id: str
+    index: int
+    total: int
+    params: dict[str, Any] = field(default_factory=dict)
+    #: x-value of the sharded sweep point, if this experiment shards
+    point: Any = None
+
+    @property
+    def key(self) -> str:
+        return (self.exp_id if self.total == 1
+                else f"{self.exp_id}.{self.index + 1}of{self.total}")
+
+
+def _sweep_default(fn: Callable[..., Any], param: str) -> Any:
+    sig = inspect.signature(fn)
+    default = sig.parameters[param].default
+    if default is inspect.Parameter.empty:  # pragma: no cover - config error
+        raise ValueError(f"shard param {param!r} of {fn} has no default")
+    return default
+
+
+def plan_units(exp_id: str, *, quick: bool = False,
+               overrides: dict[str, Any] | None = None) -> list[Unit]:
+    """Decompose one experiment into independent units.
+
+    An experiment with a ``shard_param`` naming a sweep tuple of N > 1
+    points yields N single-point units; anything else is one unit.  The
+    decomposition is the same regardless of worker count, so merged
+    results cannot depend on scheduling.
+    """
+    from repro.core.experiment import get_experiment
+
+    exp = get_experiment(exp_id)
+    params = dict(exp.quick_params) if quick else {}
+    params.update(overrides or {})
+    sweep_name = exp.shard_param
+    if sweep_name is None:
+        return [Unit(exp_id, 0, 1, params)]
+    sweep = params.get(sweep_name)
+    if sweep is None:
+        sweep = _sweep_default(exp.run, sweep_name)
+    points = list(sweep)
+    if len(points) <= 1:
+        return [Unit(exp_id, 0, 1, params)]
+    return [
+        Unit(exp_id, i, len(points), {**params, sweep_name: (x,)}, point=x)
+        for i, x in enumerate(points)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# merging: unit results -> the serial result
+# ---------------------------------------------------------------------------
+
+
+def merge_results(
+    parts: list[FigureResult] | list[TableResult],
+) -> FigureResult | TableResult:
+    """Reassemble one experiment's unit results, in unit order.
+
+    Tables concatenate rows; figures concatenate each series' points.
+    With the units planned by :func:`plan_units` this reproduces the serial
+    result bit for bit: the serial loop appends the same points in the
+    same order.
+    """
+    first = parts[0]
+    if len(parts) == 1:
+        return first
+    if isinstance(first, TableResult):
+        rows = [row for part in parts for row in part.rows]
+        return dataclasses.replace(first, rows=rows)
+    merged = dataclasses.replace(
+        first, series=[dataclasses.replace(s, points=list(s.points))
+                       for s in first.series])
+    for part in parts[1:]:
+        names = [s.name for s in part.series]
+        if names != [s.name for s in merged.series]:  # pragma: no cover
+            raise ValueError(
+                f"shards of {first!r} disagree on series: {names}")
+        for target, source in zip(merged.series, part.series):
+            target.points.extend(source.points)
+    return merged
+
+
+# ---------------------------------------------------------------------------
+# running
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class UnitResult:
+    unit: Unit
+    result: FigureResult | TableResult
+    wall_s: float
+
+    def manifest(self, *, quick: bool) -> dict[str, Any]:
+        return {
+            "exp_id": self.unit.exp_id,
+            "unit": self.unit.index,
+            "total_units": self.unit.total,
+            "point": repr(self.unit.point),
+            "quick": quick,
+            "params": {k: repr(v) for k, v in sorted(self.unit.params.items())},
+            "wall_s": round(self.wall_s, 3),
+            "fingerprint": fingerprint_result(self.result),
+        }
+
+
+@dataclass
+class SuiteResult:
+    """Merged results plus the provenance the manifests record."""
+
+    results: dict[str, FigureResult | TableResult]
+    unit_results: dict[str, list[UnitResult]]
+    workers: int
+    quick: bool
+
+    def fingerprints(self) -> dict[str, str]:
+        return {exp_id: fingerprint_result(res)
+                for exp_id, res in self.results.items()}
+
+    def manifest(self) -> dict[str, Any]:
+        return {
+            "workers": self.workers,
+            "quick": self.quick,
+            "python": sys.version.split()[0],
+            "experiments": {
+                exp_id: {
+                    "fingerprint": fingerprint_result(res),
+                    "units": len(self.unit_results[exp_id]),
+                    "wall_s": round(sum(u.wall_s
+                                        for u in self.unit_results[exp_id]), 3),
+                    "title": res.title,
+                }
+                for exp_id, res in self.results.items()
+            },
+        }
+
+
+def _run_unit(unit: Unit) -> UnitResult:
+    """Worker entry point: run one unit (also used in-process)."""
+    from repro.core.experiment import run_experiment
+
+    t0 = time.perf_counter()
+    result = run_experiment(unit.exp_id, **unit.params)
+    return UnitResult(unit, result, time.perf_counter() - t0)
+
+
+def run_suite(
+    exp_ids: list[str],
+    *,
+    quick: bool = False,
+    workers: int = 1,
+    out_dir: Path | str | None = None,
+    overrides: dict[str, dict[str, Any]] | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> SuiteResult:
+    """Run a set of experiments, sharded across ``workers`` subprocesses.
+
+    ``workers=1`` runs every unit in-process (the reference execution);
+    ``workers>1`` distributes units over a spawn-based process pool.  Both
+    paths run the identical unit plan and merge in planned order, so their
+    results — and fingerprints — are identical.
+
+    ``overrides`` maps experiment id to parameter overrides (applied on
+    top of quick params); ``out_dir`` enables manifests: one JSON per unit
+    under ``units/``, a rendered ``<exp_id>.txt`` per experiment, and the
+    merged ``manifest.json``.
+    """
+    say = progress or (lambda _msg: None)
+    units: list[Unit] = []
+    for exp_id in exp_ids:
+        units.extend(plan_units(exp_id, quick=quick,
+                                overrides=(overrides or {}).get(exp_id)))
+    say(f"planned {len(units)} units over {len(exp_ids)} experiments "
+        f"({workers} workers)")
+
+    done: dict[str, UnitResult] = {}
+    if workers <= 1:
+        for unit in units:
+            done[unit.key] = _run_unit(unit)
+            say(f"  {unit.key}: {done[unit.key].wall_s:.2f}s")
+    else:
+        ctx = multiprocessing.get_context("spawn")
+        with concurrent.futures.ProcessPoolExecutor(
+                max_workers=workers, mp_context=ctx) as pool:
+            futures = {pool.submit(_run_unit, unit): unit for unit in units}
+            for fut in concurrent.futures.as_completed(futures):
+                ur = fut.result()  # re-raises worker failures verbatim
+                done[ur.unit.key] = ur
+                say(f"  {ur.unit.key}: {ur.wall_s:.2f}s")
+
+    unit_results: dict[str, list[UnitResult]] = {}
+    results: dict[str, FigureResult | TableResult] = {}
+    for exp_id in exp_ids:
+        parts = [done[u.key] for u in units if u.exp_id == exp_id]
+        unit_results[exp_id] = parts
+        results[exp_id] = merge_results([p.result for p in parts])
+    suite = SuiteResult(results=results, unit_results=unit_results,
+                        workers=workers, quick=quick)
+    if out_dir is not None:
+        write_manifests(suite, Path(out_dir))
+    return suite
+
+
+# ---------------------------------------------------------------------------
+# manifests, reports, golden fingerprints
+# ---------------------------------------------------------------------------
+
+
+def write_manifests(suite: SuiteResult, out_dir: Path) -> None:
+    """Persist per-unit manifests, rendered results and the merged manifest."""
+    units_dir = out_dir / "units"
+    units_dir.mkdir(parents=True, exist_ok=True)
+    for exp_id, parts in suite.unit_results.items():
+        for ur in parts:
+            path = units_dir / f"{ur.unit.key}.json"
+            path.write_text(json.dumps(ur.manifest(quick=suite.quick),
+                                       indent=1) + "\n")
+        render = suite.results[exp_id].render()
+        (out_dir / f"{exp_id}.txt").write_text(render + "\n")
+    (out_dir / "manifest.json").write_text(
+        json.dumps(suite.manifest(), indent=1) + "\n")
+
+
+def read_manifest(results_dir: Path) -> dict[str, Any]:
+    path = Path(results_dir) / "manifest.json"
+    if not path.is_file():
+        raise FileNotFoundError(
+            f"{path} not found — was the suite run with --out?")
+    return json.loads(path.read_text())
+
+
+def check_golden(manifest: dict[str, Any],
+                 golden: dict[str, Any]) -> list[str]:
+    """Diff a suite manifest against a golden fingerprint file.
+
+    Returns human-readable mismatch lines (empty = clean).  Only
+    experiments present in the golden file are checked, so intentionally
+    unstable artifacts (e.g. the Table III LoC census) can be left out.
+    """
+    problems = []
+    experiments = manifest.get("experiments", {})
+    for exp_id, want in sorted(golden.get("fingerprints", {}).items()):
+        entry = experiments.get(exp_id)
+        if entry is None:
+            problems.append(f"{exp_id}: missing from results manifest")
+        elif entry["fingerprint"] != want:
+            problems.append(f"{exp_id}: fingerprint {entry['fingerprint']} "
+                            f"!= golden {want}")
+    return problems

@@ -4,11 +4,12 @@ Section IV of the paper contrasts the stacks' observability: "There is more
 transparency in HPC models when it comes to the debugging of a distributed
 application. Multiple tools such as Scalasca, Tau, etc. ... However, there
 is no sufficient tooling in the Hadoop ecosystem".  Because *all five*
-runtimes here run over one simulator, one profiler covers them all: enable
-tracing on a cluster and :mod:`repro.tools.profiler` turns the event stream
-into communication matrices and I/O summaries for any framework.
+runtimes here run over one simulator, one profiler covers them all:
+provision a traced session (``ScenarioSpec(trace=True)``) and
+:mod:`repro.tools.profiler` turns the event stream into communication
+matrices and I/O summaries for any framework.
 """
 
-from repro.tools.profiler import ProfileReport, profile_trace
+from repro.tools.profiler import ProfileReport, profile_session, profile_trace
 
-__all__ = ["ProfileReport", "profile_trace"]
+__all__ = ["ProfileReport", "profile_session", "profile_trace"]

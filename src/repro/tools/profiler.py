@@ -1,17 +1,17 @@
 """Trace-based profiling: communication matrices and I/O summaries.
 
-Enable tracing when building the cluster, run any workload (MPI job, Spark
-application, MapReduce job — the profiler is framework-agnostic), then feed
-the trace here::
+Provision a traced session, run any workload (MPI job, Spark application,
+MapReduce job — the profiler is framework-agnostic), then feed the session
+back here::
 
-    from repro.sim import Trace
-    from repro.tools import profile_trace
+    from repro.platform import ScenarioSpec
+    from repro.tools import profile_session
 
-    trace = Trace()
-    cluster = Cluster(COMET.with_nodes(4), trace=trace)
-    ... run something ...
-    report = profile_trace(trace, num_nodes=4)
-    print(report.render())
+    session = ScenarioSpec(nodes=4, trace=True).session()
+    ... run something in the session ...
+    print(profile_session(session).render())
+
+(:func:`profile_trace` is the lower-level form for hand-built clusters.)
 
 The report covers: per-fabric node-to-node byte matrices (who talked to
 whom, over which path), loopback traffic, per-device disk read/write
@@ -145,3 +145,23 @@ def profile_trace(trace: Trace, num_nodes: int, *,
             report.disk_bytes.setdefault(ev.detail["device"], [0, 0])[1] += \
                 ev.detail["nbytes"]
     return report
+
+
+def profile_session(session, *,
+                    phase_records: dict[str, int] | None = None,
+                    wall_s: float | None = None) -> ProfileReport:
+    """Aggregate a traced :class:`~repro.platform.Session`'s run.
+
+    The session must have been provisioned with ``trace=True`` in its
+    scenario; node count and virtual makespan are read off the session, so
+    call sites only add host-side context (``wall_s``, ``phase_records``).
+    """
+    from repro.errors import ConfigurationError
+
+    if session.trace is None or not session.trace.enabled:
+        raise ConfigurationError(
+            "session was not provisioned with trace=True; use "
+            "ScenarioSpec(trace=True) to profile a run")
+    return profile_trace(session.trace, len(session.cluster.nodes),
+                         phase_records=phase_records, wall_s=wall_s,
+                         virtual_s=session.cluster.engine.makespan())

@@ -1,0 +1,222 @@
+"""The experiment driver: unit planning, merging, sharded ≡ serial, CLI."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.__main__ import main as cli
+from repro.core.experiment import _ensure_registry
+from repro.core.report import FigureResult, Series, TableResult
+from repro.platform import (
+    check_golden,
+    fingerprint_result,
+    merge_results,
+    plan_units,
+    run_suite,
+)
+from repro.workloads.graphs import GraphSpec
+
+#: tiny parameter overrides that keep the sharded-vs-serial comparison fast
+#: while still splitting each experiment into >= 2 units
+TINY_SHARDED = {
+    "table2": {"logical_sizes": (10**8, 2 * 10**8), "nodes": 2,
+               "procs_per_node": 2},
+    "fig6": {"node_counts": (1, 2), "procs_per_node": 2,
+             "graph": GraphSpec(n_vertices=600, out_degree=3),
+             "iterations": 2, "spark_physical_vertices": 600},
+    "extra-kmeans": {"node_counts": (1, 2), "n_points": 500,
+                     "iterations": 2, "procs_per_node": 2},
+}
+
+
+class TestPlanUnits:
+    def test_unsharded_experiment_is_one_unit(self):
+        units = plan_units("fig3", quick=True)
+        assert len(units) == 1
+        assert units[0].key == "fig3"
+        assert units[0].params["sizes"]  # quick params folded in
+
+    def test_sharded_quick_sweep_splits(self):
+        units = plan_units("fig4", quick=True)
+        assert [u.key for u in units] == ["fig4.1of2", "fig4.2of2"]
+        assert units[0].params["proc_counts"] == (8,)
+        assert units[1].params["proc_counts"] == (16,)
+        assert [u.point for u in units] == [8, 16]
+        # non-sweep quick params reach every unit
+        assert all("logical_size" in u.params for u in units)
+
+    def test_single_point_sweep_is_one_unit(self):
+        units = plan_units("table2", quick=True)  # quick uses one size
+        assert len(units) == 1
+        assert units[0].key == "table2"
+
+    def test_sweep_default_read_from_signature(self):
+        units = plan_units("extra-kmeans")  # default node_counts=(1,2,4,8)
+        assert [u.point for u in units] == [1, 2, 4, 8]
+
+    def test_overrides_fold_on_top_of_quick(self):
+        units = plan_units("fig6", quick=True,
+                           overrides={"node_counts": (1, 2, 4)})
+        assert len(units) == 3
+        assert units[0].params["iterations"] == 3  # quick param survives
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            plan_units("fig99")
+
+
+class TestMergeResults:
+    def test_single_part_passes_through(self):
+        t = TableResult("T", "t", ["a"], [["1"]])
+        assert merge_results([t]) is t
+
+    def test_table_rows_concatenate_in_unit_order(self):
+        parts = [TableResult("T", "t", ["a"], [[str(i)]]) for i in range(3)]
+        merged = merge_results(parts)
+        assert [r[0] for r in merged.rows] == ["0", "1", "2"]
+        assert parts[0].rows == [["0"]]  # inputs not mutated
+
+    def test_figure_series_points_concatenate(self):
+        def part(x):
+            return FigureResult("F", "t", "x", "y", series=[
+                Series("a", [(x, float(x))]), Series("b", [(x, 2.0 * x)])])
+
+        merged = merge_results([part(1), part(2)])
+        assert merged.series[0].points == [(1, 1.0), (2, 2.0)]
+        assert merged.series[1].points == [(1, 2.0), (2, 4.0)]
+
+    def test_merge_equals_serial_fingerprint(self):
+        serial = FigureResult("F", "t", "x", "y", series=[
+            Series("a", [(1, 0.25), (2, 0.5)])])
+        parts = [
+            FigureResult("F", "t", "x", "y", series=[Series("a", [(1, 0.25)])]),
+            FigureResult("F", "t", "x", "y", series=[Series("a", [(2, 0.5)])]),
+        ]
+        assert fingerprint_result(merge_results(parts)) == \
+            fingerprint_result(serial)
+
+
+class TestFingerprint:
+    def test_float_bits_matter(self):
+        fig = FigureResult("F", "t", "x", "y",
+                           series=[Series("a", [(1, 0.1)])])
+        bumped = FigureResult("F", "t", "x", "y", series=[
+            Series("a", [(1, 0.1 + 1e-15)])])
+        assert fingerprint_result(fig) != fingerprint_result(bumped)
+
+    def test_none_points_hash(self):
+        fig = FigureResult("F", "t", "x", "y",
+                           series=[Series("a", [(1, None)])])
+        assert len(fingerprint_result(fig)) == 16
+
+    def test_table_rows_hash(self):
+        t1 = TableResult("T", "t", ["a"], [["x"]])
+        t2 = TableResult("T", "t", ["a"], [["y"]])
+        assert fingerprint_result(t1) != fingerprint_result(t2)
+
+
+class TestSuite:
+    def test_suite_runs_and_writes_manifests(self, tmp_path):
+        suite = run_suite(["table1"], out_dir=tmp_path)
+        assert suite.results["table1"].rows
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert manifest["experiments"]["table1"]["units"] == 1
+        unit = json.loads((tmp_path / "units" / "table1.json").read_text())
+        assert unit["fingerprint"] == suite.fingerprints()["table1"]
+        assert (tmp_path / "table1.txt").read_text().startswith("Table I")
+
+    @pytest.mark.parametrize("exp_id", sorted(TINY_SHARDED))
+    def test_sharded_equals_serial(self, exp_id):
+        overrides = {exp_id: TINY_SHARDED[exp_id]}
+        serial = run_suite([exp_id], workers=1, overrides=overrides)
+        sharded = run_suite([exp_id], workers=2, overrides=overrides)
+        assert len(sharded.unit_results[exp_id]) >= 2
+        assert sharded.fingerprints() == serial.fingerprints()
+        assert sharded.results[exp_id].render() == \
+            serial.results[exp_id].render()
+
+    def test_every_registered_experiment_plans(self):
+        for exp_id in _ensure_registry():
+            units = plan_units(exp_id, quick=True)
+            assert units, exp_id
+            assert sum(1 for u in units if u.total != len(units)) == 0
+
+    @pytest.mark.parametrize("exp_id", sorted(_ensure_registry()))
+    def test_every_registered_experiment_runs_quick(self, exp_id):
+        suite = run_suite([exp_id], quick=True)
+        result = suite.results[exp_id]
+        assert result.render()
+        fp = suite.fingerprints()[exp_id]
+        assert len(fp) == 16 and int(fp, 16) >= 0
+
+
+class TestGolden:
+    MANIFEST = {"experiments": {"fig4": {"fingerprint": "abc"},
+                                "fig6": {"fingerprint": "def"}}}
+
+    def test_clean_when_fingerprints_match(self):
+        golden = {"fingerprints": {"fig4": "abc"}}
+        assert check_golden(self.MANIFEST, golden) == []
+
+    def test_mismatch_and_missing_reported(self):
+        golden = {"fingerprints": {"fig4": "zzz", "fig7": "abc"}}
+        problems = check_golden(self.MANIFEST, golden)
+        assert len(problems) == 2
+        assert any("fig4" in p and "zzz" in p for p in problems)
+        assert any("fig7" in p and "missing" in p for p in problems)
+
+    def test_extra_experiments_in_manifest_ignored(self):
+        # table3 (unstable LoC census) is absent from golden on purpose
+        golden = {"fingerprints": {"fig6": "def"}}
+        assert check_golden(self.MANIFEST, golden) == []
+
+
+class TestCLI:
+    def test_unknown_id_is_usage_error(self, capsys):
+        assert cli(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_without_ids_is_usage_error(self):
+        assert cli(["run"]) == 2
+
+    def test_bad_worker_count_rejected(self):
+        assert cli(["run", "table1", "--workers", "0"]) == 2
+
+    def test_list_json_machine_readable(self, capsys):
+        assert cli(["list", "--json"]) == 0
+        entries = json.loads(capsys.readouterr().out)
+        by_id = {e["id"]: e for e in entries}
+        assert by_id["fig4"]["shard_param"] == "proc_counts"
+        assert by_id["table1"]["shard_param"] is None
+
+    def test_old_style_invocation_still_runs(self, capsys):
+        assert cli(["table1"]) == 0
+        assert "Comet" in capsys.readouterr().out
+
+    def test_run_report_golden_roundtrip(self, tmp_path, capsys):
+        out = tmp_path / "results"
+        golden = tmp_path / "golden.json"
+        assert cli(["run", "table1", "--out", str(out), "--json"]) == 0
+        manifest = json.loads(capsys.readouterr().out)
+        fp = manifest["experiments"]["table1"]["fingerprint"]
+
+        assert cli(["report", str(out)]) == 0
+        assert fp in capsys.readouterr().out
+
+        golden.write_text(json.dumps({"fingerprints": {"table1": fp}}))
+        assert cli(["report", str(out), "--golden", str(golden)]) == 0
+
+        golden.write_text(json.dumps({"fingerprints": {"table1": "0" * 16}}))
+        assert cli(["report", str(out), "--golden", str(golden)]) == 1
+        assert "MISMATCH" in capsys.readouterr().err
+
+        assert cli(["report", str(out), "--golden", str(golden),
+                    "--update-golden"]) == 0
+        refreshed = json.loads(golden.read_text())
+        assert refreshed["fingerprints"] == {"table1": fp}
+
+    def test_report_missing_dir_is_usage_error(self, tmp_path):
+        assert cli(["report", str(tmp_path / "nope")]) == 2

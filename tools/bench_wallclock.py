@@ -23,7 +23,6 @@ reference constants, not re-measured per run.
 from __future__ import annotations
 
 import argparse
-import hashlib
 import json
 import os
 import sys
@@ -34,7 +33,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.core import figures  # noqa: E402
-from repro.core.report import FigureResult, TableResult  # noqa: E402
+from repro.platform import fingerprint_result as fingerprint  # noqa: E402
 
 #: wall seconds on the seed engine (see module docstring).  fig3/table2/
 #: fig4_mini were measured before the scheduler fast path (PR 1);
@@ -60,21 +59,6 @@ WORKLOADS = {
 }
 
 DEFAULT_OUT = REPO_ROOT / "benchmarks" / "results" / "BENCH_sim.json"
-
-
-def fingerprint(result: FigureResult | TableResult) -> str:
-    """Bit-exact digest of a figure/table's virtual-time outputs."""
-    h = hashlib.sha256()
-    if isinstance(result, TableResult):
-        for row in result.rows:
-            h.update(("|".join(str(c) for c in row) + "\n").encode())
-    else:
-        for s in result.series:
-            for x, y in s.points:
-                y_repr = "-" if y is None else (
-                    y.hex() if isinstance(y, float) else str(y))
-                h.update(f"{s.name}|{x}|{y_repr}\n".encode())
-    return h.hexdigest()[:16]
 
 
 def run_workload(name: str, *, repeat: int = 1) -> dict:
