@@ -6,6 +6,8 @@ Subcommands::
     python -m repro run --all --quick --workers 2 --out results/
     python -m repro list --json
     python -m repro report results/ [--golden benchmarks/golden_fingerprints.json]
+    python -m repro analyze lint src/ [--format=json]
+    python -m repro analyze race fig3 --quick
 
 ``run`` executes experiments through the platform driver
 (:mod:`repro.platform.driver`): independent sweep points shard across
@@ -29,7 +31,7 @@ import json
 import sys
 from pathlib import Path
 
-SUBCOMMANDS = ("run", "list", "report")
+SUBCOMMANDS = ("run", "list", "report", "analyze")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -66,6 +68,10 @@ def _build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--update-golden", action="store_true",
                           help="rewrite the --golden file from this run's "
                                "fingerprints instead of diffing")
+
+    sub.add_parser("analyze", add_help=False,
+                   help="determinism linter + race checker "
+                        "(see `python -m repro.analysis --help`)")
     return parser
 
 
@@ -109,12 +115,15 @@ def _cmd_list(args: argparse.Namespace) -> int:
 
     registry = _ensure_registry()
     if args.json:
+        from repro.analysis.scenarios import capabilities
+
         print(json.dumps([
             {
                 "id": exp.exp_id,
                 "description": exp.description,
                 "shard_param": exp.shard_param,
                 "quick_params": sorted(exp.quick_params),
+                "analysis": capabilities(exp.exp_id),
             }
             for exp in registry.values()
         ], indent=1))
@@ -187,6 +196,12 @@ def main(argv: list[str] | None = None) -> int:
     elif argv[0] not in SUBCOMMANDS and not argv[0].startswith("-"):
         # old-style `python -m repro fig3 [--quick]`
         argv = ["run", *argv]
+    if argv[0] == "analyze":
+        # forward everything after `analyze` to the analysis CLI so its
+        # options don't have to be mirrored here
+        from repro.analysis.cli import main as analysis_main
+
+        return analysis_main(argv[1:])
     args = _build_parser().parse_args(argv)
     if args.command == "run":
         return _cmd_run(args)

@@ -1,0 +1,44 @@
+"""Static + dynamic analysis for the virtual-time stack.
+
+Every figure and table in this reproduction rests on one invariant: a
+simulation's outputs are a pure function of its inputs — bit-identical
+across the scheduler fast/slow paths, the fused/no-fuse data planes and the
+sharded driver.  This package enforces that invariant *before* a golden
+fingerprint can drift, with two engines:
+
+* :mod:`repro.analysis.lint` — **reprolint**, an AST-based determinism
+  linter with rules tuned to this codebase (wall-clock reads, unseeded
+  randomness, unordered-collection iteration, ``id()``-keyed maps,
+  swallowed errors, stray env escape hatches ...).  Run it with
+  ``python -m repro.analysis lint src/``.
+
+* :mod:`repro.analysis.races` — a **happens-before race checker**: with
+  ``Trace(hb=True)`` the engine threads vector clocks through simulated
+  processes and the runtimes record shared-state accesses (SHMEM symmetric
+  heap, Spark block store and accumulators, Hadoop map-output spills); the
+  checker replays the event stream and reports unsynchronized conflicting
+  accesses — TSan for the simulated concurrency.  Run it with
+  ``python -m repro.analysis race fig3 --quick``.
+
+Both are also reachable through ``python -m repro analyze ...``.
+"""
+
+from repro.analysis.lint import (  # noqa: F401
+    Finding,
+    RULES,
+    lint_paths,
+    lint_source,
+    render_json,
+    render_text,
+)
+from repro.analysis.races import (  # noqa: F401
+    Access,
+    Race,
+    RaceReport,
+    check_trace,
+)
+from repro.analysis.scenarios import (  # noqa: F401
+    RACE_SCENARIOS,
+    capabilities,
+    run_race_scenario,
+)

@@ -1,0 +1,203 @@
+"""Happens-before data-race detection over simulation traces.
+
+With ``Trace(hb=True)`` (or ``ScenarioSpec(hb=True)``) the virtual-time
+engine threads Mattern/Fidge vector clocks through simulated processes:
+
+* **fork** — a spawned process starts with a copy of its parent's clock;
+* **release** — posting to a mailbox, releasing a lock, arriving at a
+  barrier, resolving a future, or waking a parked process snapshots the
+  actor's clock (then increments its own component);
+* **acquire** — receiving the message / acquiring the lock / completing
+  the barrier / reading the future joins the stored snapshot in
+  (componentwise max).
+
+Runtimes record shared-state accesses (:meth:`repro.sim.trace.Trace.access`)
+with the acting process's clock snapshot.  This module replays those
+``mem.read`` / ``mem.write`` events and applies the FastTrack ordering
+test: access *a* happens-before a later access *b* iff
+``b.vc[a.pid] >= a.vc[a.pid]`` — *b* has seen the release that followed
+*a*.  Two accesses to the same location **race** when
+
+* they come from different processes,
+* at least one is a write,
+* neither happens-before the other,
+* their element ranges overlap (disjoint ``start``/``stop`` windows on the
+  same symmetric array are independent), and
+* they are not both atomic (atomics are ordered by the simulated memory
+  system itself, mirroring TSan's treatment).
+
+The check is observational: it never perturbs virtual time, so a traced
+run produces bit-identical outputs with hb on or off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.errors import AnalysisError
+from repro.sim.trace import Trace, TraceEvent, validate_events
+
+__all__ = ["Access", "Race", "RaceReport", "check_trace"]
+
+
+@dataclass(frozen=True)
+class Access:
+    """One shared-state access extracted from a ``mem.*`` trace event."""
+
+    proc: str                    #: process name (for reporting)
+    pid: int                     #: engine pid (indexes vector clocks)
+    op: str                      #: ``"read"`` or ``"write"``
+    loc: str                     #: shared location, e.g. ``"shmem.sym0@pe2"``
+    time: float                  #: virtual time of the access
+    vc: dict[int, int]           #: vector-clock snapshot at the access
+    start: int | None = None     #: optional element range [start, stop)
+    stop: int | None = None
+    atomic: bool = False
+
+    def happens_before(self, other: "Access") -> bool:
+        """FastTrack condition: has ``other`` seen this access's epoch?"""
+        return other.vc.get(self.pid, 0) >= self.vc.get(self.pid, 0)
+
+    def overlaps(self, other: "Access") -> bool:
+        """Element-range overlap; an unranged access covers the whole loc."""
+        if self.start is None or other.start is None \
+                or self.stop is None or other.stop is None:
+            return True
+        return self.start < other.stop and other.start < self.stop
+
+    def describe(self) -> str:
+        rng = "" if self.start is None else f"[{self.start}:{self.stop}]"
+        atom = " (atomic)" if self.atomic else ""
+        return (f"{self.op}{rng} by {self.proc} (pid {self.pid}) "
+                f"at t={self.time:.6f}{atom}")
+
+
+@dataclass(frozen=True)
+class Race:
+    """Two unsynchronized conflicting accesses to one location."""
+
+    loc: str
+    first: Access
+    second: Access
+
+    def describe(self) -> str:
+        return (f"race on {self.loc}:\n"
+                f"  {self.first.describe()}\n"
+                f"  {self.second.describe()}\n"
+                f"  no happens-before edge orders these accesses")
+
+
+@dataclass
+class RaceReport:
+    """Outcome of one :func:`check_trace` run."""
+
+    races: list[Race] = field(default_factory=list)
+    accesses: int = 0            #: number of mem.* events examined
+    locations: int = 0           #: number of distinct shared locations
+
+    @property
+    def clean(self) -> bool:
+        return not self.races
+
+    def describe(self) -> str:
+        head = (f"race check: {self.accesses} accesses across "
+                f"{self.locations} locations")
+        if self.clean:
+            return f"{head} — no races"
+        body = "\n".join(r.describe() for r in self.races)
+        n = len(self.races)
+        return f"{head} — {n} race{'s' if n != 1 else ''}\n{body}"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "accesses": self.accesses,
+            "locations": self.locations,
+            "races": [
+                {
+                    "loc": r.loc,
+                    "first": r.first.describe(),
+                    "second": r.second.describe(),
+                }
+                for r in self.races
+            ],
+        }
+
+
+def _to_access(ev: TraceEvent) -> Access:
+    d = ev.detail
+    try:
+        vc = d["vc"]
+        pid = d["pid"]
+        loc = d["loc"]
+    except KeyError as exc:
+        raise AnalysisError(
+            f"mem event at t={ev.time} lacks required detail field "
+            f"{exc.args[0]!r} (loc/pid/vc); was it recorded through "
+            "Trace.access with hb=True?") from exc
+    if not isinstance(vc, dict):
+        raise AnalysisError(
+            f"mem event at t={ev.time} carries a non-dict vector clock: "
+            f"{vc!r}")
+    return Access(
+        proc=ev.proc, pid=pid, op=ev.kind.split(".", 1)[1], loc=loc,
+        time=ev.time, vc=vc, start=d.get("start"), stop=d.get("stop"),
+        atomic=bool(d.get("atomic", False)))
+
+
+def check_trace(trace: Trace | Iterable[TraceEvent], *,
+                max_races: int = 20) -> RaceReport:
+    """Replay a trace's ``mem.*`` events and report data races.
+
+    Accepts a :class:`~repro.sim.trace.Trace` or any iterable of
+    :class:`~repro.sim.trace.TraceEvent` (hand-built streams are
+    schema-checked first).  Per location the checker keeps the full access
+    history and compares each new access against prior accesses from other
+    processes — O(n²) per location, which is fine at simulation scale (the
+    quick suite records hundreds of accesses, not millions).
+
+    At most one race per (location, ordered pid pair, op pair) is reported
+    so a racing loop does not bury the report, and reporting stops at
+    ``max_races`` distinct races.
+    """
+    if isinstance(trace, Trace):
+        events = trace.events  # already schema-checked at record time
+    else:
+        events = list(trace)
+        validate_events(events)
+
+    report = RaceReport()
+    history: dict[str, list[Access]] = {}
+    seen_pairs: set[tuple] = set()
+
+    for ev in events:
+        if not ev.kind.startswith("mem."):
+            continue
+        acc = _to_access(ev)
+        report.accesses += 1
+        prior = history.setdefault(acc.loc, [])
+        for old in prior:
+            if old.pid == acc.pid:
+                continue               # program order covers same-process
+            if old.op == "read" and acc.op == "read":
+                continue               # read/read never conflicts
+            if old.atomic and acc.atomic:
+                continue               # atomics order themselves
+            if not acc.overlaps(old):
+                continue
+            if old.happens_before(acc) or acc.happens_before(old):
+                continue
+            key = (acc.loc, min(old.pid, acc.pid), max(old.pid, acc.pid),
+                   frozenset((old.op, acc.op)))
+            if key in seen_pairs:
+                continue
+            seen_pairs.add(key)
+            report.races.append(Race(loc=acc.loc, first=old, second=acc))
+            if len(report.races) >= max_races:
+                prior.append(acc)
+                report.locations = len(history)
+                return report
+        prior.append(acc)
+
+    report.locations = len(history)
+    return report

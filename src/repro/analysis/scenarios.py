@@ -1,0 +1,186 @@
+"""Race-checkable scenarios: one traced quick run per measured figure.
+
+The paper figures provision their own (untraced) sessions, so the race
+checker gets its event streams from this module instead: for each figure
+with real shared-state traffic there is a scenario that runs the figure's
+representative apps inside an ``hb=True`` session and hands back the
+trace.  ``python -m repro analyze race fig3 --quick`` (or
+``python -m repro.analysis race ...``) replays it through
+:func:`repro.analysis.races.check_trace`.
+
+Scenarios are deliberately small — they exist to exercise the
+synchronization structure (SHMEM heap traffic, Spark block-store and
+accumulator updates, Hadoop spills), not to reproduce the measurements;
+``quick=True`` shrinks them further for CI.
+
+``table1`` and ``table3`` are host-side computations with no simulated
+processes, hence no trace and no race check — :func:`capabilities`
+reports that per experiment for ``python -m repro list --json``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import AnalysisError
+from repro.platform import Dataset, HDFSSpec, ScenarioSpec
+from repro.sim.trace import Trace
+from repro.units import KiB
+
+__all__ = ["RaceScenario", "RACE_SCENARIOS", "run_race_scenario",
+           "capabilities"]
+
+
+@dataclass(frozen=True)
+class RaceScenario:
+    """A traced, race-checkable stand-in for one figure's workload.
+
+    ``run(quick)`` yields one populated hb trace per framework run.  A
+    session hosts exactly one measured run (fresh engine, fresh pid
+    space — the platform contract), so each run is traced and checked
+    separately; races across engine runs cannot exist by construction.
+    """
+
+    exp_id: str
+    description: str
+    run: Callable[[bool], list[Trace]]
+
+
+def _session(nodes: int, procs_per_node: int, datasets=(), *,
+             block_size: int | None = None) -> "object":
+    # A small HDFS block size splits the tiny staged inputs into several
+    # blocks, so multi-task structure (parallel block reads, one Hadoop
+    # map per split) survives the scenario's scale-down.
+    return ScenarioSpec(nodes=nodes, procs_per_node=procs_per_node,
+                        datasets=tuple(datasets), hb=True,
+                        hdfs=HDFSSpec(block_size=block_size)).session()
+
+
+def _fig3(quick: bool) -> list[Trace]:
+    """Reduce microbenchmark: SHMEM heap traffic + Spark shuffle blocks."""
+    from repro.apps import shmem_reduce_latency, spark_reduce_latency
+
+    sizes = [4, 1 * KiB] if quick else [4, 1 * KiB, 64 * KiB]
+    iters = 2 if quick else 4
+    s1 = _session(2, 4)
+    shmem_reduce_latency.run_in(s1, sizes, 8, 4, iterations=iters)
+    s2 = _session(2, 4)
+    spark_reduce_latency.run_in(s2, sizes[:1], 8, 4, iterations=1)
+    return [s1.trace, s2.trace]
+
+
+def _table2(quick: bool) -> list[Trace]:
+    """Parallel read: HDFS blocks through the Spark block store + MPI-IO."""
+    from repro.apps import mpi_parallel_read, spark_parallel_read
+    from repro.fs.content import LineContent
+
+    n_lines = 200 if quick else 1000
+    content = LineContent(lambda i: f"payload-{i:08d}-" + "z" * 40, n_lines)
+    datasets = [Dataset("input.dat", content, scale=4)]
+    s1 = _session(2, 4, datasets, block_size=4 * KiB)
+    spark_parallel_read.run_in(s1, "hdfs://input.dat", 4)
+    s2 = _session(2, 4, datasets)
+    mpi_parallel_read.run_in(s2, s2.local, "input.dat", 8, 4)
+    return [s1.trace, s2.trace]
+
+
+def _fig4(quick: bool) -> list[Trace]:
+    """AnswersCount: Spark shuffle blocks + Hadoop map-output spills."""
+    from repro.apps import hadoop_answers_count, spark_answers_count
+    from repro.workloads.stackexchange import (StackExchangeSpec,
+                                               stackexchange_content)
+
+    spec = StackExchangeSpec(n_posts=500 if quick else 2000)
+    content = stackexchange_content(spec)
+    datasets = [Dataset("posts.txt", content)]
+    s1 = _session(2, 4, datasets, block_size=4 * KiB)
+    spark_answers_count.run_in(s1, "hdfs://posts.txt", 4,
+                               executor_nodes=[0, 1])
+    s2 = _session(2, 4, datasets, block_size=4 * KiB)
+    hadoop_answers_count.run_in(s2, "hdfs://posts.txt",
+                                map_slots_per_node=4)
+    return [s1.trace, s2.trace]
+
+
+def _spark_pagerank(variant: str, quick: bool) -> list[Trace]:
+    from repro.workloads.graphs import GraphSpec, ring_edge_list_content
+
+    graph = GraphSpec(n_vertices=200 if quick else 1000, out_degree=4)
+    content = ring_edge_list_content(graph)
+    s = _session(2, 4, [Dataset("edges.txt", content, on=("hdfs",))])
+    if variant == "bigdatabench":
+        from repro.apps import spark_pagerank_bigdatabench as app
+    else:
+        from repro.apps import spark_pagerank_hibench as app
+    app.run_in(s, "hdfs://edges.txt", graph.n_vertices, 4,
+               iterations=2 if quick else 4)
+    return [s.trace]
+
+
+def _fig6(quick: bool) -> list[Trace]:
+    """BigDataBench PageRank: block store + accumulator merges."""
+    return _spark_pagerank("bigdatabench", quick)
+
+
+def _fig7(quick: bool) -> list[Trace]:
+    """HiBench PageRank: block store + accumulator merges."""
+    return _spark_pagerank("hibench", quick)
+
+
+#: experiment id -> its race-checkable scenario
+RACE_SCENARIOS: dict[str, RaceScenario] = {
+    "fig3": RaceScenario(
+        "fig3", "reduce microbenchmark (SHMEM heap + Spark shuffle)", _fig3),
+    "table2": RaceScenario(
+        "table2", "parallel file read (HDFS block store + MPI-IO)", _table2),
+    "fig4": RaceScenario(
+        "fig4", "AnswersCount (Spark shuffle + Hadoop spills)", _fig4),
+    "fig6": RaceScenario(
+        "fig6", "BigDataBench PageRank (block store + accumulators)", _fig6),
+    "fig7": RaceScenario(
+        "fig7", "HiBench PageRank (block store + accumulators)", _fig7),
+}
+
+
+def run_race_scenario(exp_id: str, *, quick: bool = False):
+    """Run one scenario under hb tracing and race-check its traces.
+
+    Each framework run is checked against its own trace (one engine, one
+    pid space); the per-run reports are merged into a single
+    :class:`~repro.analysis.races.RaceReport` (``locations`` sums the
+    per-run distinct location counts).
+    """
+    from repro.analysis.races import RaceReport, check_trace
+
+    try:
+        scenario = RACE_SCENARIOS[exp_id]
+    except KeyError:
+        raise AnalysisError(
+            f"no race scenario for {exp_id!r}; have "
+            f"{sorted(RACE_SCENARIOS)} (host-side experiments like "
+            "table1/table3 run no simulated processes)") from None
+    merged = RaceReport()
+    for trace in scenario.run(quick):
+        report = check_trace(trace)
+        merged.races.extend(report.races)
+        merged.accesses += report.accesses
+        merged.locations += report.locations
+    return merged
+
+
+#: experiments that are host-side computations (no simulated processes)
+_UNTRACEABLE = frozenset({"table1", "table3"})
+
+
+def capabilities(exp_id: str) -> dict[str, bool]:
+    """Analysis capability flags for one experiment id.
+
+    ``trace``: the experiment runs simulated processes, so a traced
+    session can observe it.  ``race_check``: a :data:`RACE_SCENARIOS`
+    entry exists for ``python -m repro analyze race <id>``.
+    """
+    return {
+        "trace": exp_id not in _UNTRACEABLE,
+        "race_check": exp_id in RACE_SCENARIOS,
+    }

@@ -6,6 +6,7 @@ from repro.cluster.spec import NodeSpec
 from repro.cluster.storage import StorageDevice, ssd_read_efficiency
 from repro.sim.process import SimProcess
 from repro.sim.resources import FlowSystem, FluidResource
+from repro.sim.trace import Trace
 
 
 class Node:
@@ -22,6 +23,9 @@ class Node:
                  trace=None) -> None:
         self.id = node_id
         self.spec = spec
+        #: the cluster's trace (shared); runtimes record shared-state
+        #: accesses through it for the race checker
+        self.trace = trace if trace is not None else Trace(enabled=False)
         self.ssd = StorageDevice(
             f"ssd[{node_id}]",
             flow_system,

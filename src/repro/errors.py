@@ -38,6 +38,22 @@ class SimProcessError(SimulationError):
         super().__init__(message or f"simulated process {process_name!r} failed")
 
 
+class TraceSchemaError(SimulationError):
+    """A trace event violated the event schema.
+
+    Raised by :class:`repro.sim.trace.Trace` at record time (and by the
+    analysis layer when replaying externally built event streams) when an
+    event is malformed: wrong field types, a negative or non-finite virtual
+    timestamp, or a timestamp that moves backwards for the same process.
+    Failing at the emission site keeps the broken event's origin in the
+    traceback instead of surfacing as a confusing downstream analysis error.
+    """
+
+
+class AnalysisError(ReproError):
+    """Errors raised by the static/dynamic analysis layer (:mod:`repro.analysis`)."""
+
+
 class SimKilled(BaseException):  # noqa: N818 - deliberate: not an Exception
     """Injected into a simulated process to unwind it when the run aborts.
 

@@ -240,6 +240,9 @@ class HDFS(FileSystem):
                 break
             proc.compute(NAMENODE_LOOKUP)
             src = self._pick_replica(b, node.id)
+            self.cluster.trace.access(proc, "read", f"hdfs:{path}",
+                                      start=max(lo, b.start),
+                                      stop=min(hi, b.end))
             self.cluster.nodes[src].ssd.read(proc, take, label=f"hdfs:{path}#{b.index}")
             proc.compute_bytes(take, self.client_rate)
             if src != node.id:
@@ -286,6 +289,9 @@ class HDFS(FileSystem):
             replicas = [r for r in replicas if r not in self._dead]
             if not replicas:
                 raise HDFSError("no live datanodes to write to")
+            self.cluster.trace.access(proc, "write", f"hdfs:{path}",
+                                      start=base + written,
+                                      stop=base + written + take)
             for j, r in enumerate(replicas):
                 if r == node.id:
                     self.cluster.nodes[r].ssd.write(proc, take, label=f"hdfs:{path}")

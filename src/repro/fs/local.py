@@ -95,6 +95,10 @@ class LocalFS(FileSystem):
         start, end = f.physical_range(offset, length)
         nbytes = min(offset + length, f.logical_size) - min(offset, f.logical_size)
         if nbytes > 0:
+            self.cluster.trace.access(
+                proc, "read", f"local:{path}@node{node.id}",
+                start=min(offset, f.logical_size),
+                stop=min(offset + length, f.logical_size))
             node.ssd.read(proc, nbytes, label=f"local:{path}")
         return f.content.read(start, end - start)
 
@@ -105,4 +109,7 @@ class LocalFS(FileSystem):
             from repro.fs.content import BytesContent
 
             files[path] = SimFile(path, BytesContent(b""), 1)
+        # Appends don't track offsets, so the access covers the whole file:
+        # any concurrent touch of the same node-local path is a real race.
+        self.cluster.trace.access(proc, "write", f"local:{path}@node{node.id}")
         node.ssd.write(proc, nbytes, label=f"local:{path}")

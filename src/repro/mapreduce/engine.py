@@ -244,9 +244,11 @@ def _map_attempt(state: _JobState, tid: int, split: tuple[int, int],
             buckets[rid].append((k, v))
         total = 0
         node = state.cluster.node_of(proc)
+        trace = state.cluster.trace
         for rid in range(num_reduces):
             bucket = buckets[rid]
             nbytes = estimate_nbytes(bucket)
+            trace.access(proc, "write", f"mr.spill[{tid},{rid}]")
             state.map_outputs[(tid, rid)] = bucket
             state.map_output_sizes[(tid, rid)] = nbytes
             total += nbytes
@@ -281,6 +283,7 @@ def _reduce_attempt(state: _JobState, tid: int, n_maps: int, attempt: int) -> No
                 state.counters.shuffled_bytes_remote += nbytes
             else:
                 state.counters.shuffled_bytes_local += nbytes
+            state.cluster.trace.access(proc, "read", f"mr.spill[{mid},{tid}]")
             merged.extend(state.map_outputs[(mid, tid)])
             total += nbytes
         # reduce-side merge sort

@@ -83,6 +83,12 @@ class ScenarioSpec:
     datasets: tuple[Dataset, ...] = ()
     #: enable structured event tracing (the profiler reads it back)
     trace: bool = False
+    #: enable happens-before instrumentation on top of tracing: vector
+    #: clocks are threaded through the engine and shared-state accesses are
+    #: recorded for the race checker (:mod:`repro.analysis.races`).  Implies
+    #: ``trace``.  Observational only — virtual-time outputs are
+    #: bit-identical with the flag on or off.
+    hb: bool = False
 
     @property
     def nprocs(self) -> int:
@@ -108,7 +114,8 @@ class Session:
 
     def __init__(self, spec: ScenarioSpec) -> None:
         self.spec = spec
-        self.trace = Trace() if spec.trace else None
+        self.trace = (Trace(hb=spec.hb) if spec.trace or spec.hb
+                      else None)
         self.cluster = Cluster(spec.base.with_nodes(spec.nodes),
                                trace=self.trace)
         for ds in spec.datasets:

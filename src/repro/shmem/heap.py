@@ -27,6 +27,11 @@ class SymmetricArray:
         self._waiters: list[list[tuple[SimProcess, Callable[[np.ndarray], bool]]]] = [
             [] for _ in range(npes)
         ]
+        #: per-PE-copy accumulated release clock (hb mode only): writers
+        #: release into it, a successful wait_until acquires from it — the
+        #: put-flag/wait-flag idiom is a synchronisation edge even when the
+        #: waiter never blocks (flag already set on arrival).
+        self._sync_vc: list[dict[int, int] | None] = [None] * npes
 
     def register(self, pe: int, buf: np.ndarray) -> None:
         if self._copies[pe] is not None:
@@ -56,6 +61,22 @@ class SymmetricArray:
     def add_waiter(self, pe: int, proc: SimProcess,
                    pred: Callable[[np.ndarray], bool]) -> None:
         self._waiters[pe].append((proc, pred))
+
+    def sync_release(self, pe: int, snap: dict[int, int] | None) -> None:
+        """Merge a writer's release snapshot into ``pe``'s copy's clock."""
+        if snap is None:
+            return
+        cur = self._sync_vc[pe]
+        if cur is None:
+            self._sync_vc[pe] = dict(snap)
+        else:
+            for k, v in snap.items():
+                if v > cur.get(k, 0):
+                    cur[k] = v
+
+    def sync_vc(self, pe: int) -> dict[int, int] | None:
+        """The accumulated release clock of ``pe``'s copy (None in non-hb)."""
+        return self._sync_vc[pe]
 
 
 class SymmetricHeap:

@@ -14,6 +14,7 @@ from repro.shmem.heap import SymmetricArray, SymmetricHeap
 from repro.sim.engine import current_process
 from repro.sim.process import SimProcess
 from repro.sim.sync import Mailbox, SimLock
+from repro.spark.partitioner import stable_hash
 
 
 class ShmemEnv:
@@ -102,7 +103,12 @@ class PE:
             proc, self.env.fabric, src_node, dst_node, data.nbytes,
             label=f"shmem.put->{pe}",
         )
+        self.env.cluster.trace.access(
+            proc, "write", f"shmem.sym{sym.handle}@pe{pe}",
+            start=offset, stop=offset + data.size)
         target[offset : offset + data.size] = data
+        if proc.vc is not None:
+            sym.sync_release(pe, proc._hb_release())
         sym.notify(pe, proc.clock)
 
     def get(self, sym: SymmetricArray, pe: int, offset: int = 0,
@@ -123,6 +129,9 @@ class PE:
             proc, self.env.fabric, dst_node, src_node, view.nbytes,
             label=f"shmem.get<-{pe}",
         )
+        self.env.cluster.trace.access(
+            proc, "read", f"shmem.sym{sym.handle}@pe{pe}",
+            start=offset, stop=offset + count)
         return view.copy()
 
     def quiet(self) -> None:
@@ -152,6 +161,9 @@ class PE:
             proc, self.env.fabric, src_node, dst_node, itemsize,
             label=f"shmem.amo->{pe}",
         )
+        self.env.cluster.trace.access(
+            proc, "write", f"shmem.sym{sym.handle}@pe{pe}",
+            start=offset, stop=offset + 1, atomic=True)
         target = sym.local(pe)
         old = target[offset]
         target[offset] = old + value
@@ -159,6 +171,8 @@ class PE:
             proc, self.env.fabric, dst_node, src_node, itemsize,
             label=f"shmem.amo<-{pe}",
         )
+        if proc.vc is not None:
+            sym.sync_release(pe, proc._hb_release())
         sym.notify(pe, proc.clock)
         return old.item() if hasattr(old, "item") else old
 
@@ -173,7 +187,12 @@ class PE:
             proc, self.env.fabric, src_node, dst_node, itemsize,
             label=f"shmem.amo->{pe}",
         )
+        self.env.cluster.trace.access(
+            proc, "write", f"shmem.sym{sym.handle}@pe{pe}",
+            start=offset, stop=offset + 1, atomic=True)
         sym.local(pe)[offset] += value
+        if proc.vc is not None:
+            sym.sync_release(pe, proc._hb_release())
         sym.notify(pe, proc.clock)
 
     def atomic_swap(self, sym: SymmetricArray, value: float, pe: int,
@@ -186,12 +205,17 @@ class PE:
         self.env.cluster.network.transmit(
             proc, self.env.fabric, src_node, dst_node, itemsize,
             label=f"shmem.swap->{pe}")
+        self.env.cluster.trace.access(
+            proc, "write", f"shmem.sym{sym.handle}@pe{pe}",
+            start=offset, stop=offset + 1, atomic=True)
         target = sym.local(pe)
         old = target[offset]
         target[offset] = value
         self.env.cluster.network.transmit(
             proc, self.env.fabric, dst_node, src_node, itemsize,
             label=f"shmem.swap<-{pe}")
+        if proc.vc is not None:
+            sym.sync_release(pe, proc._hb_release())
         sym.notify(pe, proc.clock)
         return old.item() if hasattr(old, "item") else old
 
@@ -206,10 +230,15 @@ class PE:
         self.env.cluster.network.transmit(
             proc, self.env.fabric, src_node, dst_node, 2 * itemsize,
             label=f"shmem.cswap->{pe}")
+        self.env.cluster.trace.access(
+            proc, "write", f"shmem.sym{sym.handle}@pe{pe}",
+            start=offset, stop=offset + 1, atomic=True)
         target = sym.local(pe)
         old = target[offset]
         if old == cond:
             target[offset] = value
+            if proc.vc is not None:
+                sym.sync_release(pe, proc._hb_release())
             sym.notify(pe, proc.clock)
         self.env.cluster.network.transmit(
             proc, self.env.fabric, dst_node, src_node, itemsize,
@@ -224,9 +253,13 @@ class PE:
         proc = current_process()
         proc.checkpoint()
         if pred(self.local(sym)):
+            # The flag was already set: acquire the writers' accumulated
+            # release clock — the non-blocking path has no _wake edge.
+            proc._hb_join(sym.sync_vc(self.my_pe))
             return
         sym.add_waiter(self.my_pe, proc, pred)
         proc.block(reason=f"shmem.wait_until(pe={self.my_pe})")
+        proc._hb_join(sym.sync_vc(self.my_pe))
 
     # -- locks -----------------------------------------------------------------------------------
 
@@ -234,8 +267,11 @@ class PE:
         """``shmem_set_lock``: acquire a job-global distributed lock."""
         lock = self.env.locks.setdefault(name, SimLock(f"shmem.lock:{name}"))
         proc = current_process()
-        # lock acquisition costs a remote round-trip to the lock's home PE
-        home = hash(name) % self.n_pes
+        # lock acquisition costs a remote round-trip to the lock's home PE;
+        # stable_hash keeps the home (and hence the priced network path)
+        # identical across interpreter runs — builtin hash(str) is
+        # randomised by PYTHONHASHSEED
+        home = stable_hash(name) % self.n_pes
         src_node, dst_node = self._rma_nodes(home)
         self.env.cluster.network.transmit(proc, self.env.fabric, src_node,
                                           dst_node, 8, label="shmem.lock")

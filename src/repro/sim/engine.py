@@ -129,6 +129,12 @@ class Engine:
         #: True when the switch-free fast path (token retention + direct
         #: handoff) is active; False forces the reference scheduler.
         self._fast = not slowpath
+        #: happens-before mode: thread vector clocks through processes and
+        #: synchronisation primitives so the race checker can replay traces
+        #: (:mod:`repro.analysis.races`).  Purely observational — scheduling
+        #: and virtual time are untouched, so outputs are bit-identical with
+        #: the flag on or off.
+        self._hb = self.trace.hb
         #: virtual time of the most recently scheduled process; monotone
         #: non-decreasing over interaction points.
         self.now = 0.0
@@ -151,8 +157,8 @@ class Engine:
         attempts).  A dynamically spawned process starts at the spawner's
         current virtual time unless ``start_time`` is given.
         """
+        parent = getattr(_current, "proc", None)
         if start_time is None:
-            parent = getattr(_current, "proc", None)
             start_time = parent.clock if parent is not None else 0.0
         pid = self._next_pid
         self._next_pid += 1
@@ -166,10 +172,25 @@ class Engine:
             start_time=start_time,
             node=node,
         )
+        if self._hb:
+            # Fork edge: the child starts with the spawner's causal history;
+            # the spawner's own component advances so its later work is
+            # concurrent with (not before) the child.
+            if parent is not None and parent.engine is self \
+                    and parent.vc is not None:
+                proc.vc = dict(parent.vc)
+                parent.vc[parent.pid] = parent.vc.get(parent.pid, 0) + 1
+            else:
+                proc.vc = {}
+            proc.vc[pid] = 1
         self.processes.append(proc)
         if self._running:
             proc._start()
         return proc
+
+    def _current_proc(self) -> SimProcess | None:
+        """The simulated process running on the calling thread, or ``None``."""
+        return getattr(_current, "proc", None)
 
     def _register_current(self, proc: SimProcess) -> None:
         """Bind ``proc`` to its backing thread (called from that thread)."""

@@ -91,6 +91,12 @@ class SimProcess:
         #: heap sequence number; bumped by ``Engine._push`` so stale run
         #: queue entries for this process can be recognised and skipped.
         self._hseq = 0
+        #: happens-before vector clock (``{pid: counter}``, sparse), or
+        #: ``None`` when the engine is not in hb mode.  Maintained by the
+        #: synchronisation primitives; purely observational — it never
+        #: influences scheduling or virtual time, so enabling it cannot
+        #: change simulation outputs.
+        self.vc: dict[int, int] | None = None
         self._thread = threading.Thread(
             target=self._thread_main, name=f"sim:{name}", daemon=True
         )
@@ -203,17 +209,50 @@ class SimProcess:
         self._park(ProcState.BLOCKED)
         self.waiting_on = None
 
+    # -- happens-before bookkeeping (hb mode only) ---------------------------
+
+    def _hb_release(self) -> dict[int, int] | None:
+        """Snapshot this process's vector clock for a cross-process edge.
+
+        The standard release rule: copy the clock, then advance our own
+        component so accesses *after* the release are not ordered before the
+        acquirer's subsequent work.  Returns ``None`` outside hb mode.
+        """
+        vc = self.vc
+        if vc is None:
+            return None
+        snap = dict(vc)
+        vc[self.pid] = vc.get(self.pid, 0) + 1
+        return snap
+
+    def _hb_join(self, snap: dict[int, int] | None) -> None:
+        """Acquire rule: fold a release snapshot into this process's clock."""
+        vc = self.vc
+        if vc is None or snap is None:
+            return
+        for k, v in snap.items():
+            if v > vc.get(k, 0):
+                vc[k] = v
+
     # -- engine/runtime internals -------------------------------------------
 
     def _wake(self, at_time: float) -> None:
         """Make a BLOCKED process runnable at ``max(its clock, at_time)``.
 
         Called by *another* (currently running) process or by the engine.
+        In hb mode waking is a synchronisation edge: the woken process
+        acquires the waker's release snapshot (the waker *caused* the wake,
+        so everything it did so far happens-before everything we do next).
         """
         if self.state is not ProcState.BLOCKED:
             raise SimulationError(
                 f"cannot wake {self.name}: state is {self.state.value}"
             )
+        if self.vc is not None:
+            waker = self.engine._current_proc()
+            if waker is not None and waker is not self \
+                    and waker.engine is self.engine:
+                self._hb_join(waker._hb_release())
         self.clock = max(self.clock, at_time)
         self.state = ProcState.RUNNABLE
         self.engine._push(self)

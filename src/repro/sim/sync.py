@@ -21,11 +21,16 @@ from repro.sim.process import ProcState, SimProcess
 
 @dataclass
 class Message:
-    """An in-flight payload: visible to receivers from ``arrival`` onwards."""
+    """An in-flight payload: visible to receivers from ``arrival`` onwards.
+
+    ``vc`` is the sender's vector-clock release snapshot (hb mode only);
+    receivers acquire it so message passing is a happens-before edge.
+    """
 
     arrival: float
     payload: Any
     meta: dict[str, Any] = field(default_factory=dict)
+    vc: dict[int, int] | None = None
 
 
 class Mailbox:
@@ -51,6 +56,8 @@ class Mailbox:
         """
         sender.checkpoint()  # interactions execute in virtual-time order
         msg = Message(arrival if arrival is not None else sender.clock, payload, meta)
+        if sender.vc is not None:
+            msg.vc = sender._hb_release()
         for i, (proc, match, slot) in enumerate(self._waiters):
             if match(msg):
                 del self._waiters[i]
@@ -73,6 +80,7 @@ class Mailbox:
         for i, msg in enumerate(self._queue):
             if match(msg):
                 del self._queue[i]
+                proc._hb_join(msg.vc)
                 if msg.arrival > proc.clock:
                     proc.park_until(msg.arrival, reason="recv-arrival")
                 return msg
@@ -81,6 +89,7 @@ class Mailbox:
         proc.block(reason=reason or f"recv:{self.name}")
         if not slot:
             raise SimulationError(f"{proc.name}: woken without a message")
+        proc._hb_join(slot[0].vc)
         return slot[0]
 
     def try_recv(
@@ -93,6 +102,7 @@ class Mailbox:
         for i, msg in enumerate(self._queue):
             if match(msg) and msg.arrival <= proc.clock:
                 del self._queue[i]
+                proc._hb_join(msg.vc)
                 return msg
         return None
 
@@ -116,6 +126,10 @@ class SimBarrier:
         self.name = name
         self._arrived: list[SimProcess] = []
         self._generation = 0
+        #: release snapshots of the already-arrived parties (hb mode); the
+        #: completing process joins them all, so every party's pre-barrier
+        #: work happens-before every party's post-barrier work.
+        self._vcs: list[dict[int, int]] = []
 
     def wait(self, proc: SimProcess, extra_cost: float = 0.0) -> int:
         """Enter the barrier; returns the barrier generation just completed.
@@ -129,11 +143,19 @@ class SimBarrier:
             release = max(p.clock for p in self._arrived) + extra_cost
             self._generation += 1
             waiters, self._arrived = self._arrived[:-1], []
+            if proc.vc is not None:
+                for snap in self._vcs:
+                    proc._hb_join(snap)
+                self._vcs = []
             for p in waiters:
                 p._wake(release)
             if release > proc.clock:
                 proc.park_until(release, reason=f"barrier:{self.name}")
             return gen
+        if proc.vc is not None:
+            snap = proc._hb_release()
+            if snap is not None:
+                self._vcs.append(snap)
         proc.block(reason=f"barrier:{self.name}")
         return gen
 
@@ -152,6 +174,9 @@ class SimLock:
         self.name = name
         self._holder: SimProcess | None = None
         self._waiters: deque[SimProcess] = deque()
+        #: release snapshot of the last releaser (hb mode): the next
+        #: acquirer joins it, so critical sections are totally ordered.
+        self._vc: dict[int, int] | None = None
 
     @property
     def held(self) -> bool:
@@ -162,11 +187,13 @@ class SimLock:
         proc.checkpoint()
         if self._holder is None:
             self._holder = proc
+            proc._hb_join(self._vc)
             return
         if self._holder is proc:
             raise SimulationError(f"{proc.name}: lock {self.name!r} is not reentrant")
         self._waiters.append(proc)
         proc.block(reason=f"lock:{self.name}")
+        proc._hb_join(self._vc)
 
     def release(self, proc: SimProcess) -> None:
         """Release; the longest-waiting process acquires at this instant."""
@@ -175,6 +202,8 @@ class SimLock:
             raise SimulationError(
                 f"{proc.name}: releasing lock {self.name!r} it does not hold"
             )
+        if proc.vc is not None:
+            self._vc = proc._hb_release()
         if self._waiters:
             nxt = self._waiters.popleft()
             self._holder = nxt
@@ -193,6 +222,8 @@ class Future:
         self._set_time = 0.0
         self._exception: BaseException | None = None
         self._waiters: list[SimProcess] = []
+        #: resolver's release snapshot (hb mode); waiters join it
+        self._vc: dict[int, int] | None = None
 
     @property
     def done(self) -> bool:
@@ -206,6 +237,8 @@ class Future:
         self._done = True
         self._value = value
         self._set_time = proc.clock
+        if proc.vc is not None:
+            self._vc = proc._hb_release()
         waiters, self._waiters = self._waiters, []
         for p in waiters:
             p._wake(self._set_time)
@@ -218,6 +251,8 @@ class Future:
         self._done = True
         self._exception = exc
         self._set_time = proc.clock
+        if proc.vc is not None:
+            self._vc = proc._hb_release()
         waiters, self._waiters = self._waiters, []
         for p in waiters:
             p._wake(self._set_time)
@@ -230,6 +265,7 @@ class Future:
             proc.block(reason=f"future:{self.name}")
         elif self._set_time > proc.clock:
             proc.park_until(self._set_time, reason=f"future:{self.name}")
+        proc._hb_join(self._vc)
         if self._exception is not None:
             raise self._exception
         return self._value

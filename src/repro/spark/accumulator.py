@@ -28,13 +28,20 @@ class Accumulator:
 
     def add(self, v: Any) -> None:
         """Add ``v``; inside a task the update is buffered and shipped with
-        the task result, on the driver it merges immediately."""
+        the task result, on the driver it merges immediately.
+
+        Task-side adds touch only the task's private update buffer (merged
+        exactly once by the driver), so only the driver-side merge into the
+        shared value is a shared-state access for the race checker.
+        """
         proc = current_process()
         ctx = self.sc.env.active_ctx.get(proc.pid)
         if ctx is not None:
             current = ctx.accum_updates.get(self.id, self._zero)
             ctx.accum_updates[self.id] = self._add(current, v)
         else:
+            self.sc.cluster.trace.access(
+                proc, "write", f"spark.accum{self.id}")
             self._value = self._add(self._value, v)
 
     def _merge(self, update: Any) -> None:

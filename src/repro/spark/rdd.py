@@ -1023,7 +1023,9 @@ class CoGroupedRDD(RDD):
         # per-key grouping is recomputed verbatim.  Memoise it per list
         # identity: replaying grouped pairs inserts keys in the same
         # first-occurrence order and values in the same record order as
-        # the per-record loop.
+        # the per-record loop.  The id-key pragmas below are safe because
+        # the cache holds the referent (no id recycling) and every hit is
+        # re-checked with ``is`` before use — a false miss merely recomputes.
         cache = getattr(ctx.env, "cogroup_cache", None)
         if cache is None:
             cache = ctx.env.cogroup_cache = OrderedDict()
@@ -1035,9 +1037,9 @@ class CoGroupedRDD(RDD):
                 records = ctx.iterator(dep.parent, index)
             n_records += len(records)
             if nsides == 2:
-                hit = cache.get(id(records))
+                hit = cache.get(id(records))  # reprolint: disable=id-key
                 if hit is not None and hit[0] is records:
-                    cache.move_to_end(id(records))
+                    cache.move_to_end(id(records))  # reprolint: disable=id-key
                     for k, vs in hit[1]:
                         g = get(k)
                         if g is None:
@@ -1051,7 +1053,7 @@ class CoGroupedRDD(RDD):
                     g[side].append(v)
                 if side == 0:
                     # after side 0, groups holds exactly its grouping
-                    cache[id(records)] = (
+                    cache[id(records)] = (  # reprolint: disable=id-key
                         records, [(k, g[0]) for k, g in groups.items()])
                     if len(cache) > 128:
                         cache.popitem(last=False)

@@ -339,6 +339,8 @@ class DAGScheduler:
             if status == "ok":
                 results[part] = msg.payload
                 for acc_id, update in msg.meta["accum"].items():
+                    env.cluster.trace.access(
+                        proc, "write", f"spark.accum{acc_id}")
                     env.accumulators[acc_id]._merge(update)
                 free.append(eid)
             elif status == "fetch_failed":

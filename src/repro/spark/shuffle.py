@@ -202,7 +202,7 @@ class ShuffleWriter:
                 cache = getattr(self.env, "shuffle_write_cache", None)
                 if cache is None:
                     cache = self.env.shuffle_write_cache = OrderedDict()
-                key = (id(records), nparts)
+                key = (id(records), nparts)  # reprolint: disable=id-key
                 hit = cache.get(key)
                 if hit is not None and hit[0] is not records:
                     hit = None
@@ -266,6 +266,12 @@ class ShuffleWriter:
         # Shuffle files land in the OS page cache (Spark 1.5 writes them
         # without sync); charge the memory-system stream, not the SSD.
         executor.node.stream_bytes(proc, max(1, total), label="shuffle.write")
+        trace = executor.node.trace
+        if trace.hb:
+            for reduce_id in buckets:
+                trace.access(
+                    proc, "write",
+                    f"spark.shuffle{shuffle_id}[{map_id},{reduce_id}]")
         self.env.tracker.register(shuffle_id, map_id, executor.executor_id,
                                   sizes, buckets)
 
@@ -307,6 +313,12 @@ class ShuffleReader:
             total += nbytes
             parts.append(records)
         proc.advance_clock_to(clk)
+        trace = executor.node.trace
+        if trace.hb:
+            for map_id in range(n_maps):
+                trace.access(
+                    proc, "read",
+                    f"spark.shuffle{shuffle_id}[{map_id},{reduce_id}]")
         # Iterative apps re-fetch byte-identical bucket sets (the write
         # side memoises its buckets per cached input list), so the
         # concatenation is identical across iterations.  Returning the
@@ -316,7 +328,9 @@ class ShuffleReader:
         cache = getattr(self.env, "shuffle_read_cache", None)
         if cache is None:
             cache = self.env.shuffle_read_cache = OrderedDict()
-        key = tuple(map(id, parts))
+        # Safe id-keying: ``parts`` (the referents) are stored in the hit
+        # alongside the key and re-checked with ``is`` before use.
+        key = tuple(map(id, parts))  # reprolint: disable=id-key
         hit = cache.get(key)
         if hit is not None and all(a is b for a, b in zip(hit[0], parts)):
             out = hit[1]

@@ -61,6 +61,8 @@ class BlockManager:
     def put(self, proc: SimProcess, block_id: tuple, records: list, nbytes: int,
             level: StorageLevel) -> None:
         """Cache a block under ``level``; may evict older blocks."""
+        self.node.trace.access(
+            proc, "write", f"spark.bm{self.executor_id}.block{block_id}")
         proc.compute(self.costs.spark_cache_block_overhead)
         if level is StorageLevel.DISK_ONLY:
             self._write_disk(proc, block_id, records, nbytes)
@@ -91,6 +93,8 @@ class BlockManager:
 
     def get(self, proc: SimProcess, block_id: tuple) -> list | None:
         """Fetch a cached block, charging disk+deser if it was spilled."""
+        self.node.trace.access(
+            proc, "read", f"spark.bm{self.executor_id}.block{block_id}")
         blk = self._mem.get(block_id)
         if blk is not None:
             self._mem.move_to_end(block_id)  # refresh LRU position

@@ -1,0 +1,29 @@
+"""Negative fixture: idiomatic deterministic code — zero findings."""
+from collections import OrderedDict
+
+
+def charge(proc, nbytes, rate):
+    proc.advance(nbytes / rate)
+
+
+def bucket(key, n, stable_hash):
+    return stable_hash(key) % n
+
+
+def merge(maps):
+    out = OrderedDict()
+    for m in maps:
+        for k, v in m.items():
+            out[k] = out.get(k, 0) + v
+    return out
+
+
+def distinct(records):
+    # sets are fine as membership structures and through order-erasing sinks
+    seen = set()
+    out = []
+    for r in records:
+        if r not in seen:
+            seen.add(r)
+            out.append(r)
+    return out, len(seen), sorted(seen)

@@ -1,0 +1,22 @@
+"""R009 fixture: unsorted directory enumeration."""
+import glob
+import os
+from pathlib import Path
+
+
+def bad(root):
+    names = os.listdir(root)             # finding: R009
+    hits = glob.glob("*.json")           # finding: R009
+    entries = list(Path(root).iterdir())  # finding: R009
+    found = Path(root).glob("*.py")      # finding: R009
+    return names, hits, entries, found
+
+
+def suppressed(root):
+    return os.listdir(root)  # reprolint: disable=fs-order
+
+
+def good(root):
+    names = sorted(os.listdir(root))
+    hits = sorted(Path(root).rglob("*.py"))
+    return names, hits

@@ -1,0 +1,18 @@
+"""R004 fixture: id()-keyed maps and laundered id values."""
+
+
+def bad(cache, records, parts):
+    hit = cache.get(id(records))     # finding: R004
+    cache[id(records)] = 1           # finding: R004
+    key = (id(records), 4)           # finding: R004 (escapes into data)
+    fn_key = tuple(map(id, parts))   # finding: R004 (function reference)
+    return hit, key, fn_key
+
+
+def suppressed(cache, records):
+    return cache.get(id(records))  # reprolint: disable=id-key
+
+
+def good(cache, records, name):
+    cache[name] = records
+    return cache.get(name)

@@ -1,0 +1,9 @@
+"""R010 fixture: real concurrency outside repro/sim."""
+import threading                       # finding: R010
+from concurrent.futures import ThreadPoolExecutor   # finding: R010
+
+import multiprocessing as mp  # reprolint: disable=raw-thread
+
+
+def bad():
+    return threading.Event(), ThreadPoolExecutor, mp

@@ -1,0 +1,14 @@
+"""R007 fixture: real sleeps."""
+import time
+
+
+def bad():
+    time.sleep(0.1)                  # finding: R007
+
+
+def suppressed():
+    time.sleep(0.1)  # reprolint: disable=real-sleep
+
+
+def good(proc):
+    proc.advance(0.1)

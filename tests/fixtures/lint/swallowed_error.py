@@ -1,0 +1,46 @@
+"""R005 fixture: swallowed exceptions."""
+from repro.errors import SimulationError
+
+
+def bad_bare(op):
+    try:
+        op()
+    except:                          # finding: R005 (bare)
+        return None
+
+
+def bad_broad(op):
+    try:
+        op()
+    except Exception:                # finding: R005 (pass-only)
+        pass
+
+
+def bad_typed(op):
+    try:
+        op()
+    except SimulationError:          # finding: R005 (swallowed repro error)
+        pass
+
+
+def suppressed(op):
+    try:
+        op()
+    except Exception:  # reprolint: disable=swallowed-error
+        pass
+
+
+def good(op, log):
+    try:
+        op()
+    except ValueError:
+        pass  # narrow non-repro type: allowed
+    try:
+        op()
+    except Exception as exc:
+        log(exc)
+        raise
+    try:
+        op()
+    except:  # noqa: E722 - re-raises, so allowed
+        raise

@@ -1,0 +1,29 @@
+"""R003 fixture: set iteration order escaping."""
+
+
+def bad(xs):
+    out = []
+    for x in {1, 2, 3}:              # finding: R003
+        out.append(x)
+    seen = set(xs)
+    for x in seen:                   # finding: R003
+        out.append(x)
+    out.extend([x * 2 for x in seen])    # finding: R003 (comprehension)
+    materialised = list(seen)        # finding: R003
+    return out, materialised
+
+
+def suppressed(xs):
+    seen = set(xs)
+    return [x for x in seen]  # reprolint: disable=unordered-iter
+
+
+def good(xs):
+    seen = set(xs)
+    ordered = sorted(seen)
+    total = sum(seen)
+    n = len(seen)
+    hit = 3 in seen
+    for x in ordered:
+        total += x
+    return total, n, hit

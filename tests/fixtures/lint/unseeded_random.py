@@ -1,0 +1,21 @@
+"""R002 fixture: global vs seeded RNG."""
+import random
+
+import numpy as np
+
+
+def bad():
+    a = random.random()              # finding: R002
+    b = np.random.rand(3)            # finding: R002
+    random.shuffle([1, 2])           # finding: R002
+    return a, b
+
+
+def suppressed():
+    return random.randint(0, 9)  # reprolint: disable=unseeded-random
+
+
+def good(seed):
+    rng = random.Random(seed)
+    gen = np.random.default_rng(seed)
+    return rng.random(), gen.random()

@@ -1,0 +1,20 @@
+"""R008 fixture: builtin hash outside __hash__."""
+
+
+def bad(key, n):
+    return hash(key) % n             # finding: R008
+
+
+def suppressed(key, n):
+    return hash(key) % n  # reprolint: disable=unstable-hash
+
+
+class Good:
+    def __init__(self, name):
+        self.name = name
+
+    def __hash__(self):
+        return hash(("good", self.name))   # allowed inside __hash__
+
+    def partition(self, key, n, stable_hash):
+        return stable_hash(key) % n

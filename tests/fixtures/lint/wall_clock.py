@@ -1,0 +1,18 @@
+"""R001 fixture: wall-clock reads."""
+import time
+from datetime import datetime
+
+
+def bad():
+    t = time.time()                  # finding: R001
+    d = datetime.now()               # finding: R001
+    p = time.perf_counter()          # finding: R001
+    return t, d, p
+
+
+def suppressed():
+    return time.time()  # reprolint: disable=wall-clock
+
+
+def good(proc):
+    return proc.clock
