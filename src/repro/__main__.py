@@ -47,6 +47,9 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="run every registered experiment")
     p_run.add_argument("--quick", action="store_true",
                        help="use reduced, CI-sized parameters")
+    p_run.add_argument("--faults", action="store_true",
+                       help="enable fault injection for experiments that "
+                            "support it (currently fig8; see docs/faults.md)")
     p_run.add_argument("--workers", type=int, default=1, metavar="N",
                        help="worker subprocesses (default: 1 = in-process)")
     p_run.add_argument("--out", type=Path, default=None, metavar="DIR",
@@ -96,9 +99,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print("--workers must be >= 1", file=sys.stderr)
         return 2
 
+    overrides: dict[str, dict] = {}
+    if args.faults:
+        from repro.core.experiment import supports_faults
+
+        for exp_id in ids:
+            if supports_faults(registry[exp_id]):
+                overrides[exp_id] = {"faults": True}
+            else:
+                print(f"note: {exp_id} does not take fault plans; "
+                      "--faults ignored for it", file=sys.stderr)
+
     progress = None if args.json else lambda msg: print(msg, file=sys.stderr)
     suite = run_suite(ids, quick=args.quick, workers=args.workers,
-                      out_dir=args.out, progress=progress)
+                      out_dir=args.out, overrides=overrides or None,
+                      progress=progress)
     if args.json:
         print(json.dumps(suite.manifest(), indent=1))
     else:
@@ -115,7 +130,18 @@ def _cmd_list(args: argparse.Namespace) -> int:
 
     registry = _ensure_registry()
     if args.json:
-        from repro.analysis.scenarios import capabilities
+        from repro.core.experiment import supports_faults
+
+        def analysis_block(exp_id: str) -> dict:
+            # the analysis layer is optional decoration on the listing: an
+            # experiment without a scenario entry (or an analysis layer
+            # that fails to import) must not break `list --json`
+            try:
+                from repro.analysis.scenarios import capabilities
+
+                return capabilities(exp_id)
+            except Exception:
+                return {}
 
         print(json.dumps([
             {
@@ -123,7 +149,8 @@ def _cmd_list(args: argparse.Namespace) -> int:
                 "description": exp.description,
                 "shard_param": exp.shard_param,
                 "quick_params": sorted(exp.quick_params),
-                "analysis": capabilities(exp.exp_id),
+                "faults": supports_faults(exp),
+                "analysis": analysis_block(exp.exp_id),
             }
             for exp in registry.values()
         ], indent=1))

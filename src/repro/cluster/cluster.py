@@ -67,6 +67,15 @@ class Cluster:
         #: launch order (populated by :class:`repro.spark.context.SparkEnv`;
         #: the profiler reads shuffle phase stats off their trackers)
         self.spark_envs: list[Any] = []
+        #: ids of nodes killed by fault injection (:mod:`repro.faults`);
+        #: schedulers consult this before placing work.  Empty in every
+        #: fault-free run.
+        self.failed_nodes: set[int] = set()
+        #: ``listener(plan, t)`` callbacks invoked, in registration order,
+        #: when the fault injector applies a plan at virtual time ``t``.
+        #: Runtimes register here to implement their recovery (or abort)
+        #: policy; a listener raising aborts the whole run.
+        self.fault_listeners: list[Callable[[Any, float], None]] = []
 
     # -- process placement -----------------------------------------------------
 

@@ -60,6 +60,19 @@ class Network:
                 for i in range(spec.num_nodes)
             ]
 
+    def scale_fabric(self, t: float, fabric: str, factor: float) -> None:
+        """Multiply every NIC's bandwidth on ``fabric`` at virtual time ``t``.
+
+        The fault injector's ``net_degrade`` hook: ``factor < 1`` degrades
+        the fabric, the inverse factor restores it; in-flight transfers
+        re-price mid-flow both times.
+        """
+        if fabric not in self._tx:
+            raise ConfigurationError(
+                f"unknown fabric {fabric!r}; have {sorted(self._tx)}")
+        for pool in self._tx[fabric] + self._rx[fabric]:
+            self.flows.set_capacity(pool, pool.capacity * factor, t)
+
     def _check(self, fabric: str, src: int, dst: int) -> FabricSpec:
         if not (0 <= src < self.spec.num_nodes and 0 <= dst < self.spec.num_nodes):
             raise ConfigurationError(

@@ -67,6 +67,16 @@ class StorageDevice:
         )
         self._write = FluidResource(f"{name}:write", write_bw)
 
+    def scale_bandwidth(self, t: float, factor: float) -> None:
+        """Multiply both bandwidth pools by ``factor`` at virtual time ``t``.
+
+        The fault injector's ``disk_stall`` hook: ``factor < 1`` degrades
+        the device, and a later call with the inverse factor restores it
+        exactly (in-flight transfers re-price mid-flow both times).
+        """
+        for pool in (self._read, self._write):
+            self.flows.set_capacity(pool, pool.capacity * factor, t)
+
     def read(self, proc: SimProcess, nbytes: float, *, label: str = "") -> float:
         """Read ``nbytes``; blocks ``proc``; returns completion time."""
         proc.compute(self.latency)

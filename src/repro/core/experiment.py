@@ -1,16 +1,23 @@
 """Experiment registry and runner.
 
-Maps experiment ids (``table1`` ... ``fig7`` plus ablations) to the
+Maps experiment ids (``table1`` ... ``fig8`` plus ablations) to the
 functions in :mod:`repro.core.figures` and :mod:`repro.core.ablations`.
-Usable programmatically or from the command line::
+The usual entry point is the CLI (which adds sharding, reports and golden
+checks on top)::
 
-    python -m repro.core.experiment fig3
-    python -m repro.core.experiment table2 --quick
+    python -m repro run fig3
+    python -m repro run table2 --quick
+
+but the registry is also importable (:func:`run_experiment`) and this
+module remains directly runnable for a bare, single-process render::
+
+    python -m repro.core.experiment fig3 --quick
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 from dataclasses import dataclass
 from typing import Any, Callable
 
@@ -72,6 +79,14 @@ def _registry() -> dict[str, Experiment]:
              "graph": GraphSpec(n_vertices=2000, out_degree=4),
              "iterations": 3},
             shard_param="node_counts"),
+        "fig8": Experiment(
+            "fig8", "Fault injection: recovery cost of one node crash",
+            figures.fig8,
+            {"nodes": 2, "procs_per_node": 4, "logical_size": 1 * GiB,
+             "spec": StackExchangeSpec(n_posts=2000),
+             "graph": GraphSpec(n_vertices=2000, out_degree=4),
+             "iterations": 3, "spark_physical_vertices": 2000},
+            shard_param="workloads"),
         "table3": Experiment(
             "table3", "Maintainability: LoC + boilerplate", figures.table3, {}),
         "ablation-persist": Experiment(
@@ -128,6 +143,15 @@ def get_experiment(exp_id: str) -> Experiment:
         raise KeyError(
             f"unknown experiment {exp_id!r}; have {sorted(reg)}")
     return reg[exp_id]
+
+
+def supports_faults(exp: Experiment) -> bool:
+    """Whether an experiment takes a ``faults`` keyword (CLI ``--faults``)."""
+    try:
+        sig = inspect.signature(exp.run)
+    except (TypeError, ValueError):  # pragma: no cover - builtins only
+        return False
+    return "faults" in sig.parameters
 
 
 def run_experiment(exp_id: str, *, quick: bool = False,

@@ -331,6 +331,178 @@ def fig7(
 
 
 # ---------------------------------------------------------------------------
+# Fig 8 — fault injection and recovery (survey extension)
+# ---------------------------------------------------------------------------
+
+
+def _values_match(a, b) -> bool:
+    """Bit-identical result check that tolerates numpy payloads."""
+    import numpy as np
+
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return bool(np.array_equal(a, b))
+    return a == b
+
+
+def fig8(
+    workloads: tuple[str, ...] = ("answerscount", "pagerank", "reduce"),
+    *,
+    nodes: int = 4,
+    procs_per_node: int = 8,
+    crash_node: int = 1,
+    crash_fraction: float = 0.25,
+    logical_size: int = 8 * GiB,
+    spec: StackExchangeSpec | None = None,
+    graph: GraphSpec | None = None,
+    iterations: int = 5,
+    spark_physical_vertices: int = 16_000,
+    faults: bool = True,
+) -> TableResult:
+    """Recovery cost of one injected node crash, per framework (Fig 8).
+
+    The paper discusses fault tolerance qualitatively (Section VI-D: Spark
+    recomputes lost partitions from lineage, Hadoop re-executes failed
+    tasks, MPI jobs simply die); this survey-extension figure makes the
+    comparison quantitative.  Each row runs a workload fault-free, then
+    re-runs it on an identical platform with one
+    :class:`~repro.faults.FaultPlan` node crash scheduled at
+    ``crash_fraction`` of the fault-free duration.  Frameworks with
+    recovery report the slowdown (and the run asserts the recovered result
+    is bit-identical to the fault-free one); MPI and OpenSHMEM report the
+    launcher's abort diagnostic.
+
+    Injection defaults on (the figure is *about* faults), so plain
+    ``python -m repro run fig8`` and ``... --faults`` are equivalent;
+    ``faults=False`` is the explicit opt-out that produces only the
+    fault-free column.
+    """
+    from repro.errors import FaultAbortError
+    from repro.faults import FaultPlan
+    from repro.spark.context import DEFAULT_APP_STARTUP
+    from repro.units import fmt_seconds
+
+    spec = spec or StackExchangeSpec(n_posts=8000)
+    graph = graph or GraphSpec(n_vertices=100_000, out_degree=8)
+    table = TableResult(
+        "Fig 8",
+        f"Recovery from one node crash ({nodes} nodes,"
+        f" {procs_per_node} processes/node; node {crash_node} crashes at"
+        f" {crash_fraction:.0%} of the fault-free run)",
+        ["Workload", "Framework", "Fault-free", "With crash", "Outcome"],
+        [])
+
+    def measure(workload, framework, base_spec, run, *, start_offset=0.0):
+        """Append one row: fault-free run, then the same run under a crash."""
+        t_clean, v_clean = run(base_spec.session())
+        if not faults:
+            table.rows.append([workload, framework, fmt_seconds(t_clean),
+                               "-", "no fault injected"])
+            return
+        # schedule the crash in absolute engine time, mid-way through the
+        # work observed fault-free (identical platforms share the execution
+        # prefix, so the job is provably still running at `at`)
+        at = start_offset + crash_fraction * t_clean
+        plan = FaultPlan("node_crash", at=at, target=crash_node)
+        try:
+            t_bad, v_bad = run(base_spec.with_(faults=(plan,)).session())
+        except FaultAbortError as exc:
+            table.rows.append([workload, framework, fmt_seconds(t_clean),
+                               "aborted", str(exc)])
+            return
+        if not _values_match(v_clean, v_bad):
+            raise AssertionError(
+                f"{framework} recovered {workload} with a different result: "
+                f"{v_bad!r} != fault-free {v_clean!r}")
+        table.rows.append([
+            workload, framework, fmt_seconds(t_clean), fmt_seconds(t_bad),
+            f"recovered, {t_bad / t_clean:.2f}x fault-free "
+            f"(+{fmt_seconds(t_bad - t_clean)})"])
+
+    def answerscount_rows():
+        content = stackexchange_content(spec)
+        scale = max(1, logical_size // content.size)
+        base = ScenarioSpec(
+            nodes=nodes, procs_per_node=procs_per_node,
+            datasets=(Dataset("posts.txt", content, scale=scale),))
+
+        def run_spark(s):
+            return spark_answers_count.run_in(
+                s, "hdfs://posts.txt", procs_per_node,
+                executor_nodes=list(range(nodes)))
+
+        def run_hadoop(s):
+            return hadoop_answers_count.run_in(
+                s, "hdfs://posts.txt", map_slots_per_node=procs_per_node)
+
+        def run_mpi(s):
+            return mpi_answers_count.run_in(
+                s, s.local, "posts.txt", nodes * procs_per_node,
+                procs_per_node)
+
+        measure("AnswersCount", "Spark (lineage recompute)", base, run_spark,
+                start_offset=DEFAULT_APP_STARTUP)
+        measure("AnswersCount", "Hadoop (task re-execution)", base,
+                run_hadoop)
+        measure("AnswersCount", "MPI (no fault tolerance)", base, run_mpi)
+
+    def pagerank_rows():
+        mpi_edges, content, n_spark, record_scale = _pagerank_inputs(
+            graph, spark_physical_vertices)
+        spark_base = ScenarioSpec(
+            nodes=nodes, procs_per_node=procs_per_node,
+            datasets=(Dataset("edges.txt", content, scale=record_scale,
+                              on=("hdfs",)),))
+        mpi_base = ScenarioSpec(nodes=nodes, procs_per_node=procs_per_node)
+
+        def run_spark(s):
+            return spark_pagerank_bigdatabench.run_in(
+                s, "hdfs://edges.txt", n_spark, procs_per_node,
+                iterations=iterations, record_scale=record_scale)
+
+        def run_mpi(s):
+            return mpi_pagerank.run_in(
+                s, mpi_edges, graph.n_vertices, nodes * procs_per_node,
+                procs_per_node, iterations=iterations)
+
+        measure("PageRank", "Spark (lineage recompute)", spark_base,
+                run_spark, start_offset=DEFAULT_APP_STARTUP)
+        measure("PageRank", "MPI (no fault tolerance)", mpi_base, run_mpi)
+
+    def reduce_rows():
+        base = ScenarioSpec(nodes=nodes, procs_per_node=procs_per_node)
+        n = 16 * KiB // 4
+        rounds = max(3, iterations)
+
+        def kernel(pe):
+            import numpy as np
+
+            sym = pe.alloc(n, dtype=np.float32)
+            for _ in range(rounds):
+                pe.local(sym)[:] = 1.0
+                pe.sum_to_all(sym)
+                pe.barrier_all()
+            return float(pe.local(sym)[0])
+
+        def run_shmem(s):
+            res = s.shmem(kernel)
+            return res.elapsed, res.returns[0]
+
+        measure("Reduce (16 KiB sum_to_all)",
+                "OpenSHMEM (no fault tolerance)", base, run_shmem)
+
+    dispatch = {"answerscount": answerscount_rows,
+                "pagerank": pagerank_rows, "reduce": reduce_rows}
+    for workload in workloads:
+        if workload not in dispatch:
+            from repro.errors import ConfigurationError
+
+            raise ConfigurationError(
+                f"unknown fig8 workload {workload!r}; have {sorted(dispatch)}")
+        dispatch[workload]()
+    return table
+
+
+# ---------------------------------------------------------------------------
 # Table III — maintainability
 # ---------------------------------------------------------------------------
 

@@ -66,6 +66,22 @@ class ConfigurationError(ReproError):
     """A cluster, runtime or experiment was configured inconsistently."""
 
 
+class FaultError(ReproError):
+    """Base class for errors raised by the fault-injection subsystem."""
+
+
+class FaultAbortError(FaultError):
+    """An injected fault killed a job that has no recovery mechanism.
+
+    Raised (with a human-readable diagnostic naming the fault, its virtual
+    time and the runtime) when a ``node_crash``/``proc_kill`` hits an MPI,
+    OpenMP or OpenSHMEM job: those models abort the whole run, exactly as
+    ``mpirun`` kills every rank when one dies (paper Section VI-D).  The
+    fault-tolerant runtimes (Spark, Hadoop, HDFS) never raise this — they
+    recover instead.
+    """
+
+
 class FileSystemError(ReproError):
     """Base class for simulated-filesystem errors."""
 

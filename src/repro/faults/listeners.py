@@ -1,0 +1,69 @@
+"""The no-fault-tolerance policy shared by the HPC runtimes.
+
+MPI, OpenMP and OpenSHMEM have no recovery story: when a node or process
+under the job dies, the launcher kills everything (``mpirun``'s behaviour,
+paper Section VI-D).  Each HPC run entry point arms this policy; the
+fault-tolerant runtimes (Spark, Hadoop) install their own listeners and
+never abort.
+
+The mechanism rides the engine's failure path: the listener raises
+:class:`~repro.errors.FaultAbortError` inside the injector daemon, the
+engine aborts the run and wraps it in a
+:class:`~repro.errors.SimProcessError`, and :func:`run_aborting` unwraps
+that back into the clean diagnostic for the caller.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.cluster.cluster import Cluster
+from repro.errors import FaultAbortError, SimProcessError
+
+
+def arm_hpc_abort(cluster: Cluster, *, runtime: str,
+                  nodes_used: Iterable[int],
+                  proc_prefixes: tuple[str, ...]) -> None:
+    """Register a listener that aborts the job on a fatal injected fault.
+
+    ``node_crash`` on any node in ``nodes_used`` is fatal; so is
+    ``proc_kill`` naming one of the job's processes (``proc_prefixes``
+    match the runtime's process-name scheme, e.g. ``("mpi:",)``).
+    Degradations (``disk_stall``/``net_degrade``) merely slow the job and
+    are ignored here.
+    """
+    fatal_nodes = frozenset(int(n) for n in nodes_used)
+
+    def _listener(plan, t: float) -> None:
+        if plan.kind == "node_crash" and int(plan.target) in fatal_nodes:
+            raise FaultAbortError(
+                f"{runtime} job aborted at t={t:.3f}s (virtual): node "
+                f"{plan.target} crashed under the job; {runtime} has no "
+                "fault tolerance — the launcher kills every process when "
+                "one dies (paper Section VI-D)")
+        if plan.kind == "proc_kill":
+            name = str(plan.target)
+            if any(name.startswith(p) for p in proc_prefixes):
+                raise FaultAbortError(
+                    f"{runtime} job aborted at t={t:.3f}s (virtual): "
+                    f"process {name!r} was killed; {runtime} has no fault "
+                    "tolerance (paper Section VI-D)")
+
+    cluster.fault_listeners.append(_listener)
+
+
+def run_aborting(cluster: Cluster) -> float:
+    """``cluster.run()`` that unwraps a fault abort into its diagnostic.
+
+    Without injected faults this is exactly ``cluster.run()``; with them,
+    a :class:`FaultAbortError` raised by :func:`arm_hpc_abort`'s listener
+    surfaces directly (instead of wrapped in ``SimProcessError``), so
+    callers get the one-line "this model cannot survive that" message.
+    """
+    try:
+        return cluster.run()
+    except SimProcessError as exc:
+        cause = exc.__cause__
+        if isinstance(cause, FaultAbortError):
+            raise cause from None
+        raise

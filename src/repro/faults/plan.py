@@ -1,0 +1,136 @@
+"""Deterministic fault plans: what breaks, when, and where.
+
+A :class:`FaultPlan` is a declarative description of one fault — it carries
+no behaviour.  Plans become injections when a :class:`ScenarioSpec` lists
+them and the session's :class:`~repro.faults.injector.FaultInjector` replays
+them at their virtual times, so the same spec always produces the same
+failure sequence: faults are part of the experiment's inputs, exactly like
+dataset sizes or process counts.
+
+For randomised campaigns, :func:`seeded_plans` derives plans from an integer
+seed via SHA-256 (no RNG state, no global seeding), so a "random" crash is
+still bit-reproducible across runs, machines and Python versions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: the fault kinds the injector understands
+KINDS = ("node_crash", "proc_kill", "disk_stall", "net_degrade")
+
+#: kinds whose target is a node id (used by :func:`seeded_plans`)
+_NODE_TARGETED = ("node_crash", "disk_stall")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One scheduled fault.
+
+    Parameters
+    ----------
+    kind:
+        * ``"node_crash"`` — the target node fails permanently: its HDFS
+          datanode dies (reads fail over to surviving replicas, or raise
+          :class:`~repro.errors.BlockUnavailableError` at replication=1),
+          Spark executors on it are lost (the DAG scheduler recomputes
+          their lineage), Hadoop task attempts and map outputs on it are
+          re-executed elsewhere, and MPI/OpenMP/OpenSHMEM jobs touching it
+          abort with :class:`~repro.errors.FaultAbortError`.
+        * ``"proc_kill"`` — kill one long-running service process by name
+          (e.g. ``"spark:executor3"``, ``"mpi:rank0"``).  Spark loses that
+          executor and recovers; an HPC runtime whose process is named
+          aborts the whole job, as ``mpirun`` would.
+        * ``"disk_stall"`` — divide the target node's SSD read *and* write
+          bandwidth by ``factor`` (a failing/contended device), optionally
+          for ``duration`` virtual seconds.
+        * ``"net_degrade"`` — divide every NIC's bandwidth on the target
+          *fabric* (e.g. ``"ipoib"``) by ``factor``, optionally for
+          ``duration`` virtual seconds.
+    at:
+        Virtual time of the injection, seconds from engine start.
+    target:
+        A node id (``node_crash``/``disk_stall``), a process name
+        (``proc_kill``) or a fabric name (``net_degrade``).
+    factor:
+        Bandwidth-division factor for ``disk_stall``/``net_degrade``.
+    duration:
+        Length of the degradation window in virtual seconds; ``None``
+        (default) degrades for the rest of the run.  Only meaningful for
+        ``disk_stall``/``net_degrade`` — crashes are permanent.
+    """
+
+    kind: str
+    at: float
+    target: int | str
+    factor: float = 8.0
+    duration: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ConfigurationError(
+                f"unknown fault kind {self.kind!r}; choose from {KINDS}")
+        if not isinstance(self.at, (int, float)) or isinstance(self.at, bool) \
+                or not math.isfinite(self.at) or self.at < 0:
+            raise ConfigurationError(
+                f"fault time must be a finite number >= 0, got {self.at!r}")
+        if self.factor <= 0 or not math.isfinite(self.factor):
+            raise ConfigurationError(
+                f"fault factor must be finite and > 0, got {self.factor!r}")
+        if self.duration is not None:
+            if self.kind not in ("disk_stall", "net_degrade"):
+                raise ConfigurationError(
+                    f"{self.kind} faults are permanent; duration applies only "
+                    "to disk_stall/net_degrade")
+            if self.duration <= 0 or not math.isfinite(self.duration):
+                raise ConfigurationError(
+                    f"fault duration must be finite and > 0, "
+                    f"got {self.duration!r}")
+
+
+def _derive(seed: int, index: int, salt: str) -> float:
+    """A uniform float in ``[0, 1)`` derived from ``(seed, index, salt)``.
+
+    SHA-256 based so the value depends only on the arguments — no RNG
+    object, no hidden state, identical on every platform.
+    """
+    digest = hashlib.sha256(f"{seed}:{index}:{salt}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+def seeded_plans(
+    seed: int,
+    *,
+    nodes: int,
+    count: int = 1,
+    kinds: tuple[str, ...] = ("node_crash",),
+    window: tuple[float, float] = (1.0, 30.0),
+) -> tuple[FaultPlan, ...]:
+    """``count`` bit-reproducible node-targeted plans derived from ``seed``.
+
+    Each plan's kind, target node and injection time are hashed out of
+    ``(seed, plan index)``; two calls with the same arguments return the
+    same plans.  Only node-targeted kinds (``node_crash``, ``disk_stall``)
+    can be generated — fabric/process targets need explicit plans.
+    """
+    if nodes < 1:
+        raise ConfigurationError("seeded_plans needs nodes >= 1")
+    for k in kinds:
+        if k not in _NODE_TARGETED:
+            raise ConfigurationError(
+                f"seeded_plans can only draw node-targeted kinds "
+                f"{_NODE_TARGETED}, got {k!r}")
+    lo, hi = window
+    if not (0 <= lo <= hi):
+        raise ConfigurationError(f"bad time window {window!r}")
+    plans = []
+    for i in range(count):
+        kind = kinds[int(_derive(seed, i, "kind") * len(kinds))]
+        target = int(_derive(seed, i, "target") * nodes)
+        at = lo + _derive(seed, i, "at") * (hi - lo)
+        plans.append(FaultPlan(kind, at, target))
+    return tuple(plans)

@@ -25,7 +25,7 @@ from typing import Any
 
 from repro.cluster.cluster import Cluster
 from repro.costs import DEFAULT_COSTS, SoftwareCosts
-from repro.errors import MapReduceError, TaskFailedError
+from repro.errors import BlockUnavailableError, MapReduceError, TaskFailedError
 from repro.fs.hdfs import HDFS
 from repro.fs.records import read_split_records
 from repro.mapreduce.types import FaultInjector, JobConf, JobCounters, JobResult
@@ -103,17 +103,38 @@ def _driver_main(state: _JobState, map_slots: int, reduce_slots: int) -> Any:
     t0 = proc.clock
     proc.compute(state.costs.hadoop_job_submit)
     splits, preferred = state.splits()
+    state.counters.map_tasks = len(splits)
+    state.counters.reduce_tasks = state.conf.num_reduces
 
-    map_tasks = list(range(len(splits)))
-    _run_wave(state, "map", map_tasks,
-              lambda tid: preferred[tid], map_slots,
-              lambda tid, node: (_map_attempt, state, tid, splits[tid]))
+    map_attempts: dict[int, int] = {}
 
+    def run_maps(task_ids: list[int]) -> None:
+        _run_wave(state, "map", task_ids,
+                  lambda tid: preferred[tid], map_slots,
+                  lambda tid, node: (_map_attempt, state, tid, splits[tid]),
+                  attempts=map_attempts)
+
+    def recover_maps(lost: list[int]) -> None:
+        """Re-execute map tasks whose output died with a crashed node.
+
+        Hadoop's fetch-failure semantics: a reduce reporting missing map
+        output blames the *map*, so the AM restarts the source maps on
+        surviving nodes before the reduce retries.  Maps already re-run by
+        an earlier report (the re-run shares the per-map attempt budget)
+        are skipped.
+        """
+        stale = [m for m in lost
+                 if state.map_node[m] in state.cluster.failed_nodes]
+        if stale:
+            run_maps(stale)
+
+    run_maps(list(range(len(splits))))
     reduce_tasks = list(range(state.conf.num_reduces))
     results = _run_wave(state, "reduce", reduce_tasks,
                         lambda tid: [], reduce_slots,
                         lambda tid, node: (_reduce_attempt, state, tid,
-                                           len(splits)))
+                                           len(splits)),
+                        recover=recover_maps)
     output: list = []
     for tid in sorted(results):
         output.extend(results[tid])
@@ -121,25 +142,51 @@ def _driver_main(state: _JobState, map_slots: int, reduce_slots: int) -> Any:
 
 
 def _run_wave(state: _JobState, kind: str, task_ids: list[int], preferred,
-              slots_per_node: int, make_task) -> dict[int, Any]:
-    """Schedule one phase's tasks into node slots; handle retries."""
+              slots_per_node: int, make_task, *,
+              attempts: dict[int, int] | None = None,
+              recover=None) -> dict[int, Any]:
+    """Schedule one phase's tasks into node slots; handle retries.
+
+    ``attempts`` shares one cumulative per-task retry budget across waves
+    (lost-map re-execution re-enters the map wave with the original
+    budget).  ``recover`` handles a ``"lost_maps"`` report — a reduce
+    found source map output on a crashed node — by re-running those maps
+    before the reduce is requeued.  Map slots and reduce slots are
+    disjoint pools in Hadoop, so a recovery map wave nested inside the
+    reduce wave contends for nothing the in-flight reduces hold.
+    """
     proc = current_process()
     cluster = state.cluster
     free: dict[int, int] = {n.id: slots_per_node for n in cluster.nodes}
     queue = deque(task_ids)
-    attempts: dict[int, int] = {t: 0 for t in task_ids}
+    if attempts is None:
+        attempts = {}
+    for t in task_ids:
+        attempts.setdefault(t, 0)
     in_flight: dict[int, int] = {}
     results: dict[int, Any] = {}
 
     def pick_node(tid: int) -> int | None:
-        pref = [n for n in preferred(tid) if free.get(n, 0) > 0]
+        dead = cluster.failed_nodes
+        pref = [n for n in preferred(tid)
+                if free.get(n, 0) > 0 and n not in dead]
         if pref:
             return pref[0]
-        avail = [n for n, k in free.items() if k > 0]
+        avail = [n for n, k in free.items() if k > 0 and n not in dead]
         if not avail:
             return None
         # spread over nodes deterministically
         return avail[tid % len(avail)]
+
+    def count_retry(tid: int, action: str, why: Any) -> None:
+        state.counters.task_retries += 1
+        cluster.trace.record(proc.clock, proc.name, "fault.recover",
+                             framework="hadoop", action=action,
+                             wave=kind, task=tid)
+        if attempts[tid] >= state.conf.max_attempts:
+            raise TaskFailedError(
+                f"{kind} task {tid} failed {attempts[tid]} times: {why}")
+        queue.append(tid)
 
     while queue or in_flight:
         proc.compute(state.costs.hadoop_schedule_wave / max(1, len(task_ids)))
@@ -167,20 +214,22 @@ def _run_wave(state: _JobState, kind: str, task_ids: list[int], preferred,
         tid = msg.meta["task"]
         node = in_flight.pop(tid)
         free[node] += 1
-        if msg.meta["status"] == "ok":
+        status = msg.meta["status"]
+        if status == "ok" and node in cluster.failed_nodes:
+            # the attempt's node crashed while it ran: whatever it produced
+            # (spill, reduce output) died with the node
+            status = "node_lost"
+        if status == "ok":
             results[tid] = msg.payload
+        elif status == "lost_maps":
+            if recover is None:
+                raise MapReduceError(
+                    f"{kind} task {tid} reported lost map outputs "
+                    f"{msg.payload} but this wave cannot recover them")
+            count_retry(tid, "map_rerun", f"lost maps {msg.payload}")
+            recover(sorted(set(msg.payload)))
         else:
-            state.counters.task_retries += 1
-            if attempts[tid] >= state.conf.max_attempts:
-                raise TaskFailedError(
-                    f"{kind} task {tid} failed {attempts[tid]} times: "
-                    f"{msg.payload}"
-                )
-            queue.append(tid)
-    if kind == "map":
-        state.counters.map_tasks = len(task_ids)
-    else:
-        state.counters.reduce_tasks = len(task_ids)
+            count_retry(tid, "task_retry", msg.payload)
     return results
 
 
@@ -258,7 +307,10 @@ def _map_attempt(state: _JobState, tid: int, split: tuple[int, int],
         state.counters.spilled_bytes += total
         state.map_node[tid] = node.id
         _report(state, "map", tid, "ok", None)
-    except _InjectedFault as exc:
+    except (_InjectedFault, BlockUnavailableError) as exc:
+        # BlockUnavailable: the split's HDFS replicas all died (node crash
+        # at replication=1); the attempt fails like any task failure and
+        # the retry budget decides whether the job survives
         _report(state, "map", tid, "failed", str(exc))
 
 
@@ -273,6 +325,14 @@ def _reduce_attempt(state: _JobState, tid: int, n_maps: int, attempt: int) -> No
         total = 0
         for mid in range(n_maps):
             proc.compute(costs.hadoop_fetch_overhead)
+            if state.map_node[mid] in state.cluster.failed_nodes:
+                # fetch failure: the serving node is gone, so every map
+                # output it held is lost — report them all so the driver
+                # re-executes the source maps before retrying this reduce
+                lost = [m for m in range(n_maps)
+                        if state.map_node[m] in state.cluster.failed_nodes]
+                _report(state, "reduce", tid, "lost_maps", lost)
+                return
             nbytes = max(1, state.map_output_sizes[(mid, tid)])
             src = state.map_node[mid]
             state.cluster.nodes[src].ssd.read(proc, nbytes, label="mr:serve")
@@ -309,5 +369,5 @@ def _reduce_attempt(state: _JobState, tid: int, n_maps: int, attempt: int) -> No
             ofs.write(proc, f"{path}/part-r-{tid:05d}",
                       max(1, estimate_nbytes(out)))
         _report(state, "reduce", tid, "ok", out)
-    except _InjectedFault as exc:
+    except (_InjectedFault, BlockUnavailableError) as exc:
         _report(state, "reduce", tid, "failed", str(exc))

@@ -308,9 +308,13 @@ def omp_run(
         omp.barrier()  # implicit join barrier (drains tasks)
         return result
 
+    from repro.faults.listeners import arm_hpc_abort, run_aborting
+
+    arm_hpc_abort(cluster, runtime="OpenMP", nodes_used=(node_id,),
+                  proc_prefixes=("omp:",))
     for tid in range(num_threads):
         procs.append(
             cluster.spawn(thread_main, tid, node_id=node_id, name=f"omp:t{tid}")
         )
-    elapsed = cluster.run()
+    elapsed = run_aborting(cluster)
     return OMPResult(returns=[p.result for p in procs], elapsed=elapsed)

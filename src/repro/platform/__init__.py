@@ -13,6 +13,10 @@ Two halves, one seam:
 Every entry layer — ``repro.core.figures``/``ablations``/``extras``/
 ``validate``, the profiler, the examples and the ``python -m repro`` CLI —
 builds its platform here and nowhere else.
+
+Fault plans declared on a spec (``ScenarioSpec(faults=...)``, see
+:mod:`repro.faults`) are armed by the session at construction, so injected
+failures are part of the provisioned platform like any other knob.
 """
 
 from repro.platform.driver import (

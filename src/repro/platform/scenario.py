@@ -74,12 +74,26 @@ class Dataset:
 
 @dataclass(frozen=True)
 class ScenarioSpec:
-    """Declarative description of the platform an experiment runs on."""
+    """Declarative description of the platform an experiment runs on.
 
+    A spec is an immutable value: build one, derive variants with
+    :meth:`with_`, and provision as many fresh :class:`Session` objects
+    from it as there are measured runs.  Two sessions built from equal
+    specs are bit-identical platforms — same node count, same staged
+    bytes, same process-id sequence — which is what makes cross-framework
+    comparisons (and golden fingerprints) meaningful.
+    """
+
+    #: cluster size in nodes (the paper sweeps 1..16)
     nodes: int = 2
+    #: process density — executors, ranks, PEs or slots per node (the
+    #: paper's runs use 8 or 16)
     procs_per_node: int = 8
+    #: hardware description; defaults to the simulated SDSC Comet
     base: ClusterSpec = COMET
+    #: HDFS mount parameters (replication, block size)
     hdfs: HDFSSpec = field(default_factory=HDFSSpec)
+    #: input files staged before the run, in declaration order
     datasets: tuple[Dataset, ...] = ()
     #: enable structured event tracing (the profiler reads it back)
     trace: bool = False
@@ -89,13 +103,23 @@ class ScenarioSpec:
     #: ``trace``.  Observational only — virtual-time outputs are
     #: bit-identical with the flag on or off.
     hb: bool = False
+    #: fault plans (:class:`repro.faults.FaultPlan`) injected at their
+    #: virtual times by a session daemon.  The empty default arms nothing —
+    #: a fault-free session is bit-identical to one built before the fault
+    #: subsystem existed (no extra processes, no pid shifts).
+    faults: tuple[Any, ...] = ()
 
     @property
     def nprocs(self) -> int:
+        """Total process count (``nodes * procs_per_node``)."""
         return self.nodes * self.procs_per_node
 
     def with_(self, **changes: Any) -> "ScenarioSpec":
-        """A copy of this spec with fields replaced."""
+        """A copy of this spec with fields replaced.
+
+        >>> ScenarioSpec(nodes=2).with_(nodes=8).nodes
+        8
+        """
         return dataclasses.replace(self, **changes)
 
     def session(self) -> "Session":
@@ -110,6 +134,15 @@ class Session:
     session only hands out handles.  Filesystems not named by any dataset
     are mounted lazily on first use, so a scenario without staged data is
     exactly a bare cluster.
+
+    One session hosts one measured run: the cluster owns a fresh
+    virtual-time engine, and the first framework call
+    (:meth:`spark`/:meth:`mpi`/...) that runs it consumes the engine's
+    virtual timeline.  Attributes of note: ``cluster`` (the simulated
+    hardware), ``trace`` (the event sink when the spec enables tracing,
+    else ``None``), and ``faults`` (the armed
+    :class:`~repro.faults.FaultInjector` when the spec lists fault plans,
+    else ``None``).
     """
 
     def __init__(self, spec: ScenarioSpec) -> None:
@@ -118,6 +151,15 @@ class Session:
                       else None)
         self.cluster = Cluster(spec.base.with_nodes(spec.nodes),
                                trace=self.trace)
+        # Arm fault plans before any datasets or runtimes exist so the
+        # injector daemon gets the first pid *when used*; with no plans
+        # nothing is imported or spawned and the session is bit-identical
+        # to a fault-free build.
+        self.faults = None
+        if spec.faults:
+            from repro.faults import FaultInjector
+
+            self.faults = FaultInjector(self.cluster, spec.faults)
         for ds in spec.datasets:
             self.stage(ds)
 

@@ -337,9 +337,13 @@ def shmem_run(
         pe.barrier_all()  # shmem_init synchronisation
         return fn(pe, *args)
 
+    from repro.faults.listeners import arm_hpc_abort, run_aborting
+
+    arm_hpc_abort(cluster, runtime="OpenSHMEM", nodes_used=set(placement),
+                  proc_prefixes=("shmem:",))
     for i in range(npes):
         procs.append(
             cluster.spawn(pe_main, i, node_id=placement[i], name=f"shmem:pe{i}")
         )
-    elapsed = cluster.run()
+    elapsed = run_aborting(cluster)
     return ShmemResult(returns=[p.result for p in procs], elapsed=elapsed)

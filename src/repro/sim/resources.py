@@ -172,6 +172,25 @@ class FlowSystem:
         """Number of currently active flows (for tests/inspection)."""
         return len(self.flows)
 
+    def set_capacity(self, resource: FluidResource, capacity: float,
+                     t: float) -> None:
+        """Change ``resource``'s capacity at virtual time ``t``.
+
+        The fault injector's primitive (disk stalls, degraded fabrics).
+        Progress is integrated up to ``t`` first, so bytes already moved
+        were priced at the old rate; every active flow is then re-priced
+        and parked owners get their projected finish revised — the same
+        sequence a competing flow arriving at ``t`` would trigger.
+        """
+        if capacity <= 0 or capacity != capacity:
+            raise SimulationError(
+                f"resource {resource.name!r}: new capacity must be finite "
+                f"and > 0, got {capacity!r}")
+        self._advance_to(t)
+        resource.capacity = float(capacity)
+        if self.flows:
+            self._recompute(t)
+
     # -- internals -------------------------------------------------------------
 
     def _advance_to(self, t: float) -> None:

@@ -34,6 +34,12 @@ from repro.units import GiB
 #: storage fraction of the unified region)
 STORAGE_FRACTION = 0.6
 
+#: default virtual seconds charged for driver + executor container spin-up;
+#: ``SparkJobResult.app_elapsed`` starts *after* this, so an absolute engine
+#: time inside the app is ``DEFAULT_APP_STARTUP + fraction * app_elapsed``
+#: (fault plans are scheduled in absolute engine time)
+DEFAULT_APP_STARTUP = 4.0
+
 
 class Executor:
     """One single-core executor (JVM) pinned to a node."""
@@ -130,7 +136,7 @@ class SparkContext:
         driver_node: int = 0,
         costs: SoftwareCosts = DEFAULT_COSTS,
         default_parallelism: int | None = None,
-        app_startup: float = 4.0,
+        app_startup: float = DEFAULT_APP_STARTUP,
         record_scale: int = 1,
     ) -> None:
         from repro.spark.shuffle import TRANSPORT_FABRICS
@@ -268,6 +274,11 @@ class SparkContext:
                     else:
                         result, ctx = sched.run_result_task(
                             env, ex, a, partition, fn)
+                    if ex.dead:
+                        # the executor was killed mid-task (fault injection):
+                        # the work is lost with the process
+                        self._reply(proc, ex, msg, "executor_lost", None, {})
+                        continue
                     self._reply(proc, ex, msg, "ok", result, ctx.accum_updates)
                 except sched.FetchFailedError as ff:
                     self._reply(proc, ex, msg, "fetch_failed", None, {},
@@ -287,6 +298,7 @@ class SparkContext:
                 for ex in env.executors:
                     ex.mailbox.post(proc, None, kind="shutdown")
 
+        self.cluster.fault_listeners.append(self._on_fault)
         for ex in env.executors:
             self.cluster.spawn(executor_main, ex, node_id=ex.node.id,
                                name=f"spark:executor{ex.executor_id}")
@@ -320,13 +332,34 @@ class SparkContext:
     # -- fault injection --------------------------------------------------------------------
 
     def kill_executor(self, executor_id: int) -> None:
-        """Host-side fault injection between jobs: the executor's cached
-        blocks and shuffle outputs vanish; subsequent tasks sent to it fail
-        with ``executor_lost`` and are rescheduled."""
+        """Host-side fault injection: the executor's cached blocks and
+        shuffle outputs vanish; its in-flight task (if any) is lost, and
+        subsequent tasks sent to it fail with ``executor_lost`` and are
+        rescheduled.  Recovery is pure lineage recomputation — the DAG
+        scheduler re-runs only the missing map partitions and resubmitted
+        result tasks (Section VI-D)."""
         ex = self.env.executors[executor_id]
         ex.dead = True
         ex.block_manager.drop_all()
         self._scheduler._on_executor_lost(executor_id)
+
+    def _on_fault(self, plan: Any, t: float) -> None:
+        """Cluster fault listener (:mod:`repro.faults`): translate injected
+        faults into executor losses.  ``node_crash`` takes every executor
+        on the node; ``proc_kill`` takes the named executor."""
+        env = self.env
+        if plan.kind == "node_crash":
+            nid = int(plan.target)
+            for ex in env.executors:
+                if ex.node.id == nid and not ex.dead:
+                    self.kill_executor(ex.executor_id)
+        elif plan.kind == "proc_kill":
+            name = str(plan.target)
+            prefix = "spark:executor"
+            if name.startswith(prefix) and name[len(prefix):].isdigit():
+                eid = int(name[len(prefix):])
+                if eid < len(env.executors) and not env.executors[eid].dead:
+                    self.kill_executor(eid)
 
     # -- internals -----------------------------------------------------------------------------
 

@@ -457,9 +457,11 @@ class RDD:
         return total / n
 
     def min(self) -> Any:
+        """Smallest record (raises on an empty RDD, like ``reduce``)."""
         return self.reduce(lambda a, b: b if b < a else a)
 
     def max(self) -> Any:
+        """Largest record (raises on an empty RDD, like ``reduce``)."""
         return self.reduce(lambda a, b: b if b > a else a)
 
     def first(self) -> Any:

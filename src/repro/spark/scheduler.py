@@ -269,6 +269,10 @@ class DAGScheduler:
                     raise JobAbortedError(
                         f"job failed after {attempt + 1} attempts: {ff}"
                     ) from ff
+                self.env.cluster.trace.record(
+                    proc.clock, proc.name, "fault.recover",
+                    framework="spark", action="stage_rerun",
+                    shuffle=ff.shuffle_id)
         raise AssertionError("unreachable")
 
     # -- one stage ------------------------------------------------------------------------
@@ -348,6 +352,10 @@ class DAGScheduler:
                 raise FetchFailedError(msg.meta["shuffle_id"])
             elif status == "executor_lost":
                 self._on_executor_lost(eid)
+                env.cluster.trace.record(
+                    proc.clock, proc.name, "fault.recover",
+                    framework="spark", action="task_resubmit",
+                    partition=part, executor=eid)
                 retries[part] = retries.get(part, 0) + 1
                 if retries[part] > MAX_STAGE_RETRIES:
                     raise JobAbortedError(

@@ -30,10 +30,15 @@ def test_unknown_scenario_raises():
 
 
 def test_capabilities_flags():
-    assert capabilities("table1") == {"trace": False, "race_check": False}
-    assert capabilities("fig3") == {"trace": True, "race_check": True}
+    assert capabilities("table1") == {
+        "trace": False, "race_check": False, "fault_injection": False}
+    assert capabilities("fig3") == {
+        "trace": True, "race_check": True, "fault_injection": False}
     # simulated but without a dedicated scenario: traceable, not checkable
-    assert capabilities("fig5") == {"trace": True, "race_check": False}
+    assert capabilities("fig5") == {
+        "trace": True, "race_check": False, "fault_injection": False}
+    # fig8 takes fault plans (python -m repro run fig8 --faults)
+    assert capabilities("fig8")["fault_injection"] is True
 
 
 def test_hb_instrumentation_does_not_change_results():
