@@ -52,6 +52,11 @@ def _build_parser() -> argparse.ArgumentParser:
                             "support it (currently fig8; see docs/faults.md)")
     p_run.add_argument("--workers", type=int, default=1, metavar="N",
                        help="worker subprocesses (default: 1 = in-process)")
+    p_run.add_argument("--intra-workers", type=int, default=1, metavar="N",
+                       help="also split each figure point's independent "
+                            "framework runs across N workers (default: 1 = "
+                            "no intra-experiment sharding); results stay "
+                            "bit-identical to serial")
     p_run.add_argument("--out", type=Path, default=None, metavar="DIR",
                        help="write manifests + rendered results here")
     p_run.add_argument("--json", action="store_true",
@@ -98,6 +103,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.workers < 1:
         print("--workers must be >= 1", file=sys.stderr)
         return 2
+    if args.intra_workers < 1:
+        print("--intra-workers must be >= 1", file=sys.stderr)
+        return 2
 
     overrides: dict[str, dict] = {}
     if args.faults:
@@ -112,6 +120,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     progress = None if args.json else lambda msg: print(msg, file=sys.stderr)
     suite = run_suite(ids, quick=args.quick, workers=args.workers,
+                      intra_workers=args.intra_workers,
                       out_dir=args.out, overrides=overrides or None,
                       progress=progress)
     if args.json:
@@ -148,6 +157,8 @@ def _cmd_list(args: argparse.Namespace) -> int:
                 "id": exp.exp_id,
                 "description": exp.description,
                 "shard_param": exp.shard_param,
+                "intra_shard": exp.intra_param is not None,
+                "intra_series": list(exp.intra_series),
                 "quick_params": sorted(exp.quick_params),
                 "faults": supports_faults(exp),
                 "analysis": analysis_block(exp.exp_id),
@@ -158,6 +169,8 @@ def _cmd_list(args: argparse.Namespace) -> int:
         for exp in registry.values():
             sharded = f"  [shards on {exp.shard_param}]" if exp.shard_param \
                 else ""
+            if exp.intra_param:
+                sharded += "  [intra-shards series]"
             print(f"{exp.exp_id:22s} {exp.description}{sharded}")
     return 0
 

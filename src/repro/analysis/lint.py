@@ -112,6 +112,7 @@ DETERMINISTIC_PACKAGES = frozenset({
 ENV_REGISTRY: dict[str, str] = {
     "REPRO_SIM_SLOWPATH": "repro/sim/engine.py",
     "REPRO_SPARK_NOFUSE": "repro/spark/rdd.py",
+    "REPRO_SPARK_SCALAR": "repro/sim/blocks.py",
 }
 
 # Dotted call names that read the wall clock (R001).

@@ -50,6 +50,7 @@ def mpi_pagerank(
 
     def bench(comm) -> tuple[float, np.ndarray | None]:
         from repro.sim import current_process
+        from repro.sim.blocks import ContribBlock, blocks_enabled
 
         # <boilerplate>
         me = comm.rank
@@ -60,17 +61,59 @@ def mpi_pagerank(
         my_dst = dst_sorted[sel]
         my_deg = safe_deg[my_src]
         # </boilerplate>
+        p = comm.size
+        vec = blocks_enabled() and p > 1
+        if vec:
+            # Group this rank's edges by destination block once (the
+            # destinations never change across iterations).  The stable
+            # sort keeps edges of equal destination in original order, so
+            # each per-block bincount accumulates in exactly the order the
+            # dense bincount over all edges did — bit-identical sums.
+            barr = np.asarray(bounds, dtype=np.int64)
+            blk = np.searchsorted(barr, my_dst, side="right") - 1
+            border = np.argsort(blk, kind="stable")
+            dst_grp = my_dst[border]
+            starts = np.searchsorted(blk[border], np.arange(p + 1))
+            uniq: list[np.ndarray] = []
+            inv: list[np.ndarray] = []
+            for r in range(p):
+                seg = dst_grp[starts[r]:starts[r + 1]] - barr[r]
+                u, iv = np.unique(seg, return_inverse=True)
+                u = np.ascontiguousarray(u, dtype=np.int64)
+                u.setflags(write=False)  # shared with receivers, zero-copy
+                uniq.append(u)
+                inv.append(iv)
         my_ranks = np.ones(hi - lo)
         comm.barrier()
         t0 = comm.wtime()
         for _ in range(iterations):
             shares = my_ranks[my_src - lo] / my_deg
-            dense = np.bincount(my_dst, weights=shares, minlength=n_vertices)
-            outgoing = [dense[bounds[r]:bounds[r + 1]] for r in range(comm.size)]
+            if vec:
+                # Sparse per-destination-block sums: bincount over the
+                # *compressed* index range of each block, skipping the
+                # O(n_vertices) dense vector and its per-rank slices.
+                # Contributions are strictly positive, so the skipped
+                # zeros are exact (see ContribBlock).
+                sh_grp = shares[border]
+                outgoing = []
+                for r in range(p):
+                    w = sh_grp[starts[r]:starts[r + 1]]
+                    vals = np.bincount(inv[r], weights=w,
+                                       minlength=len(uniq[r]))
+                    vals.setflags(write=False)
+                    outgoing.append(
+                        ContribBlock(uniq[r], vals, int(barr[r + 1] - barr[r])))
+            else:
+                dense = np.bincount(my_dst, weights=shares,
+                                    minlength=n_vertices)
+                outgoing = [dense[bounds[r]:bounds[r + 1]]
+                            for r in range(comm.size)]
             # two native passes over edges + one over the dense vector
             current_process().compute(
                 (2 * len(my_src) + n_vertices) * EDGE_COST)
             contribs = comm.reduce_scatter_block(outgoing, op=SUM)
+            if not isinstance(contribs, np.ndarray):
+                contribs = contribs.to_dense()
             my_ranks = (1 - damping) + damping * contribs
         comm.barrier()
         elapsed = comm.wtime() - t0

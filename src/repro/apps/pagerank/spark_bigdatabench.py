@@ -77,8 +77,9 @@ def spark_pagerank_bigdatabench(
                 .persist(StorageLevel.MEMORY_AND_DISK)
             )
             ranks = contribs.reduce_by_key(
-                lambda a, b: a + b, num_parts
-            ).map_values(lambda r: (1 - damping) + damping * r)
+                lambda a, b: a + b, num_parts, vector="sum"
+            ).map_values(lambda r: (1 - damping) + damping * r,
+                         vector=lambda r: (1 - damping) + damping * r)
         if collect_ranks:
             return dict(ranks.collect())
         return ranks.count()

@@ -61,8 +61,9 @@ def spark_pagerank_hibench(
             contribs = links.join(ranks, num_parts).map(
                 contrib, cost=EDGE_COST_JVM)
             ranks = contribs.reduce_by_key(
-                lambda a, b: a + b, num_parts
-            ).map_values(lambda r: (1 - damping) + damping * r)
+                lambda a, b: a + b, num_parts, vector="sum"
+            ).map_values(lambda r: (1 - damping) + damping * r,
+                         vector=lambda r: (1 - damping) + damping * r)
         if collect_ranks:
             return dict(ranks.collect())
         return ranks.count()

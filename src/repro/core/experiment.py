@@ -39,6 +39,15 @@ class Experiment:
     #: the per-point results bit-identically to a serial run
     #: (:mod:`repro.platform.driver`).
     shard_param: str | None = None
+    #: name of the keyword argument selecting a subset of the figure's
+    #: framework series (each provisions fresh sessions, so single-series
+    #: runs are bit-identical to the full figure), or ``None``.  Enables
+    #: *intra*-experiment sharding: one sweep point's independent framework
+    #: runs split across workers (``run_suite(..., intra_workers=N)``).
+    intra_param: str | None = None
+    #: the figure's series names in serial (canonical) order; the driver
+    #: plans intra units and merges their series back in this order.
+    intra_series: tuple[str, ...] = ()
 
 
 def _registry() -> dict[str, Experiment]:
@@ -64,21 +73,24 @@ def _registry() -> dict[str, Experiment]:
             figures.fig4,
             {"proc_counts": (8, 16), "logical_size": 4 * GiB,
              "spec": StackExchangeSpec(n_posts=4000)},
-            shard_param="proc_counts"),
+            shard_param="proc_counts", intra_param="series",
+            intra_series=("OpenMP", "MPI", "Spark", "Hadoop")),
         "fig6": Experiment(
             "fig6", "BigDataBench PageRank (MPI vs Spark vs Spark-RDMA)",
             figures.fig6,
             {"node_counts": (1, 2), "procs_per_node": 4,
              "graph": GraphSpec(n_vertices=2000, out_degree=4),
              "iterations": 3},
-            shard_param="node_counts"),
+            shard_param="node_counts", intra_param="series",
+            intra_series=("MPI", "Spark", "Spark-RDMA")),
         "fig7": Experiment(
             "fig7", "HiBench PageRank (Spark vs Spark-RDMA)",
             figures.fig7,
             {"node_counts": (1, 2), "procs_per_node": 4,
              "graph": GraphSpec(n_vertices=2000, out_degree=4),
              "iterations": 3},
-            shard_param="node_counts"),
+            shard_param="node_counts", intra_param="series",
+            intra_series=("Spark", "Spark-RDMA")),
         "fig8": Experiment(
             "fig8", "Fault injection: recovery cost of one node crash",
             figures.fig8,

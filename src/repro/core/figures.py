@@ -156,12 +156,31 @@ def table2(
 # ---------------------------------------------------------------------------
 
 
+def _select_series(available: tuple[str, ...],
+                   series: tuple[str, ...] | None) -> frozenset[str]:
+    """Resolve a figure's ``series`` filter against its framework list.
+
+    ``None`` selects everything.  Each framework run provisions its own
+    :class:`~repro.platform.scenario.Session`, so running a subset leaves
+    every selected point bit-identical to the full figure — the property
+    the driver's intra-experiment sharding relies on
+    (:mod:`repro.platform.driver`).
+    """
+    if series is None:
+        return frozenset(available)
+    unknown = [s for s in series if s not in available]
+    if unknown:
+        raise ValueError(f"unknown series {unknown}; have {list(available)}")
+    return frozenset(series)
+
+
 def fig4(
     proc_counts: tuple[int, ...] = (8, 16, 32, 64, 128),
     *,
     procs_per_node: int = 8,
     logical_size: int = 80 * GiB,
     spec: StackExchangeSpec | None = None,
+    series: tuple[str, ...] | None = None,
 ) -> FigureResult:
     """AnswersCount execution time vs process count (paper Fig 4).
 
@@ -182,6 +201,7 @@ def fig4(
                        f" ({fmt_bytes(content.size * scale)} dataset,"
                        f" {procs_per_node} processes/node)",
                        "processes", "execution time (s)")
+    want = _select_series(("OpenMP", "MPI", "Spark", "Hadoop"), series)
     omp = Series("OpenMP")
     mpi = Series("MPI")
     spark = Series("Spark")
@@ -190,33 +210,37 @@ def fig4(
     for p in proc_counts:
         nodes = -(-p // procs_per_node)
         # OpenMP: single node only
-        if p <= node_cores:
-            s = session_with_data(1)
-            t, _ = openmp_answers_count.run_in(s, s.local, "posts.txt", p)
-            omp.add(p, t)
-        else:
-            omp.add(p, None)
+        if "OpenMP" in want:
+            if p <= node_cores:
+                s = session_with_data(1)
+                t, _ = openmp_answers_count.run_in(s, s.local, "posts.txt", p)
+                omp.add(p, t)
+            else:
+                omp.add(p, None)
         # MPI: absent where a chunk exceeds INT_MAX
-        s = session_with_data(nodes)
-        try:
-            t, _ = mpi_answers_count.run_in(s, s.local, "posts.txt", p,
-                                            procs_per_node)
-            mpi.add(p, t)
-        except SimProcessError as exc:
-            from repro.errors import MPIIntOverflowError
+        if "MPI" in want:
+            s = session_with_data(nodes)
+            try:
+                t, _ = mpi_answers_count.run_in(s, s.local, "posts.txt", p,
+                                                procs_per_node)
+                mpi.add(p, t)
+            except SimProcessError as exc:
+                from repro.errors import MPIIntOverflowError
 
-            if not isinstance(exc.__cause__, MPIIntOverflowError):
-                raise
-            mpi.add(p, None)
-        t, _ = spark_answers_count.run_in(
-            session_with_data(nodes), "hdfs://posts.txt", procs_per_node,
-            executor_nodes=list(range(nodes)))
-        spark.add(p, t)
-        t, _ = hadoop_answers_count.run_in(
-            session_with_data(nodes), "hdfs://posts.txt",
-            map_slots_per_node=procs_per_node)
-        hadoop.add(p, t)
-    fig.series = [omp, mpi, spark, hadoop]
+                if not isinstance(exc.__cause__, MPIIntOverflowError):
+                    raise
+                mpi.add(p, None)
+        if "Spark" in want:
+            t, _ = spark_answers_count.run_in(
+                session_with_data(nodes), "hdfs://posts.txt", procs_per_node,
+                executor_nodes=list(range(nodes)))
+            spark.add(p, t)
+        if "Hadoop" in want:
+            t, _ = hadoop_answers_count.run_in(
+                session_with_data(nodes), "hdfs://posts.txt",
+                map_slots_per_node=procs_per_node)
+            hadoop.add(p, t)
+    fig.series = [s for s in (omp, mpi, spark, hadoop) if s.name in want]
     return fig
 
 
@@ -267,9 +291,11 @@ def fig6(
     graph: GraphSpec | None = None,
     iterations: int = 10,
     spark_physical_vertices: int = 16_000,
+    series: tuple[str, ...] | None = None,
 ) -> FigureResult:
     """BigDataBench PageRank: MPI vs Spark vs Spark-RDMA (paper Fig 6)."""
     graph = graph or GraphSpec(n_vertices=1_000_000, out_degree=8)
+    want = _select_series(("MPI", "Spark", "Spark-RDMA"), series)
     mpi_edges, content, n_spark, record_scale = _pagerank_inputs(
         graph, spark_physical_vertices)
     fig = FigureResult(
@@ -277,15 +303,19 @@ def fig6(
         f"BigDataBench PageRank ({graph.n_vertices} vertices,"
         f" {procs_per_node} processes/node)",
         "nodes", "execution time (s)")
-    s_mpi = Series("MPI")
-    for nodes in node_counts:
-        t, _ = mpi_pagerank.run_in(
-            ScenarioSpec(nodes=nodes, procs_per_node=procs_per_node).session(),
-            mpi_edges, graph.n_vertices, nodes * procs_per_node,
-            procs_per_node, iterations=iterations)
-        s_mpi.add(nodes, t)
-    fig.series.append(s_mpi)
+    if "MPI" in want:
+        s_mpi = Series("MPI")
+        for nodes in node_counts:
+            t, _ = mpi_pagerank.run_in(
+                ScenarioSpec(nodes=nodes,
+                             procs_per_node=procs_per_node).session(),
+                mpi_edges, graph.n_vertices, nodes * procs_per_node,
+                procs_per_node, iterations=iterations)
+            s_mpi.add(nodes, t)
+        fig.series.append(s_mpi)
     for transport, label in (("socket", "Spark"), ("rdma", "Spark-RDMA")):
+        if label not in want:
+            continue
         s = Series(label)
         for nodes in node_counts:
             session = _spark_pagerank_session(nodes, procs_per_node, content,
@@ -306,9 +336,11 @@ def fig7(
     graph: GraphSpec | None = None,
     iterations: int = 10,
     spark_physical_vertices: int = 16_000,
+    series: tuple[str, ...] | None = None,
 ) -> FigureResult:
     """HiBench PageRank: Spark default vs Spark-RDMA (paper Fig 7)."""
     graph = graph or GraphSpec(n_vertices=1_000_000, out_degree=8)
+    want = _select_series(("Spark", "Spark-RDMA"), series)
     _mpi_edges, content, n_spark, record_scale = _pagerank_inputs(
         graph, spark_physical_vertices)
     fig = FigureResult(
@@ -317,6 +349,8 @@ def fig7(
         f" {procs_per_node} processes/node)",
         "nodes", "execution time (s)")
     for transport, label in (("socket", "Spark"), ("rdma", "Spark-RDMA")):
+        if label not in want:
+            continue
         s = Series(label)
         for nodes in node_counts:
             session = _spark_pagerank_session(nodes, procs_per_node, content,

@@ -36,14 +36,16 @@ class SimFile:
         self.path = path
         self.content = content
         self.scale = int(scale)
+        #: cached product: ContentProvider sizes are fixed after
+        #: construction and nothing reassigns ``content``/``scale``
+        #: (writes extend the filesystems' block maps, not the payload),
+        #: so the value cannot go stale.  This sits on the per-block read
+        #: hot path of every filesystem.
+        self.logical_size = self.content.size * self.scale
 
     @property
     def physical_size(self) -> int:
         return self.content.size
-
-    @property
-    def logical_size(self) -> int:
-        return self.content.size * self.scale
 
     def physical_range(self, offset: int, length: int) -> tuple[int, int]:
         """Map a logical byte range to the physical sample range."""

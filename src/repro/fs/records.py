@@ -17,7 +17,10 @@ points (hypothesis).
 
 from __future__ import annotations
 
+from typing import Iterator
+
 from repro.fs.base import FileSystem
+from repro.sim.blocks import RecordBlock, blocks_enabled
 from repro.sim.process import SimProcess
 from repro.units import KiB
 
@@ -33,19 +36,23 @@ def read_split_records(
     end: int,
     *,
     lookahead: int = LOOKAHEAD,
-) -> list[bytes]:
+) -> "RecordBlock | list[bytes]":
     """Timed read of the records owned by logical split ``[start, end)``.
 
-    Returns the records as byte strings (no trailing newlines).  I/O time is
-    charged for the split plus any boundary lookahead, exactly as a real
-    reader would incur it.
+    Returns the records as byte strings (no trailing newlines) — normally
+    a :class:`~repro.sim.blocks.RecordBlock` over the split's buffer
+    (list-equal, but records materialize lazily and batch consumers can
+    use its columnar kernels), or a plain list under
+    ``REPRO_SPARK_SCALAR=1``.  I/O time is charged for the split plus any
+    boundary lookahead, exactly as a real reader would incur it; the
+    charge sequence is identical on both paths.
     """
     f = fs.lookup(path)
     lsize = f.logical_size
     start = max(0, min(start, lsize))
     end = max(start, min(end, lsize))
     if start == end:
-        return []
+        return RecordBlock(b"") if blocks_enabled() else []
     buf = fs.read(proc, path, start, end - start)
     pstart, pend = f.physical_range(start, end - start)
     psize = f.physical_size
@@ -75,17 +82,33 @@ def read_split_records(
             nl = buf.find(b"\n")
             buf = buf[nl + 1 :] if nl >= 0 else b""
 
+    if blocks_enabled():
+        return RecordBlock(buf)
     lines = buf.split(b"\n")
     if lines and lines[-1] == b"":
         lines.pop()
     return lines
 
 
-def iter_all_records(fs: FileSystem, path: str) -> list[bytes]:
-    """Untimed host-side record list of the whole file (references/tests)."""
+def iter_all_records(fs: FileSystem, path: str) -> Iterator[bytes]:
+    """Untimed host-side record *iterator* over the whole file.
+
+    Historically returned a fully materialized list, which callers looped
+    over once — an accidental full copy of the file on top of the content
+    provider's own buffer.  It now yields records lazily in chunks;
+    callers that need a list say so with ``list(iter_all_records(...))``.
+    """
     f = fs.lookup(path)
-    data = f.content.read_all()
-    lines = data.split(b"\n")
-    if lines and lines[-1] == b"":
-        lines.pop()
-    return lines
+    content = f.content
+    size = content.size
+    pos = 0
+    tail = b""
+    chunk_size = 4 * 1024 * 1024
+    while pos < size:
+        data = tail + content.read(pos, min(chunk_size, size - pos))
+        pos += min(chunk_size, size - pos)
+        lines = data.split(b"\n")
+        tail = lines.pop()
+        yield from lines
+    if tail:
+        yield tail

@@ -13,6 +13,8 @@ from typing import Any, Callable
 
 import numpy as np
 
+from repro.sim.blocks import ContribBlock, _Accum
+
 #: wire overhead per Python container element (boxing, headers)
 _ELEM_OVERHEAD = 8
 
@@ -71,6 +73,10 @@ _NBYTES_EXACT = {
     set: _container_nbytes,
     frozenset: _container_nbytes,
     dict: _dict_nbytes,
+    # sparse contribution blocks size as the dense slice they stand in
+    # for, so protocol choices and combine charges match the dense path
+    ContribBlock: lambda o: o.nbytes,
+    _Accum: lambda o: o.nbytes,
 }
 
 

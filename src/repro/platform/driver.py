@@ -90,11 +90,18 @@ class Unit:
     params: dict[str, Any] = field(default_factory=dict)
     #: x-value of the sharded sweep point, if this experiment shards
     point: Any = None
+    #: framework series this unit runs, if the experiment intra-shards
+    #: (``Experiment.intra_param``); ``None`` = all series
+    series: str | None = None
 
     @property
     def key(self) -> str:
-        return (self.exp_id if self.total == 1
+        base = (self.exp_id if self.total == 1
                 else f"{self.exp_id}.{self.index + 1}of{self.total}")
+        if self.series is None:
+            return base
+        slug = "".join(c if c.isalnum() else "-" for c in self.series).lower()
+        return f"{base}.{slug}"
 
 
 def _sweep_default(fn: Callable[..., Any], param: str) -> Any:
@@ -106,13 +113,17 @@ def _sweep_default(fn: Callable[..., Any], param: str) -> Any:
 
 
 def plan_units(exp_id: str, *, quick: bool = False,
-               overrides: dict[str, Any] | None = None) -> list[Unit]:
+               overrides: dict[str, Any] | None = None,
+               intra: bool = False) -> list[Unit]:
     """Decompose one experiment into independent units.
 
     An experiment with a ``shard_param`` naming a sweep tuple of N > 1
-    points yields N single-point units; anything else is one unit.  The
-    decomposition is the same regardless of worker count, so merged
-    results cannot depend on scheduling.
+    points yields N single-point units; anything else is one unit.  With
+    ``intra=True`` an experiment that also declares an ``intra_param``
+    splits each of those units further, one per framework series, so a
+    single sweep point's independent framework runs can spread across
+    workers.  The decomposition depends only on these flags — never on
+    worker count — so merged results cannot depend on scheduling.
     """
     from repro.core.experiment import get_experiment
 
@@ -121,16 +132,30 @@ def plan_units(exp_id: str, *, quick: bool = False,
     params.update(overrides or {})
     sweep_name = exp.shard_param
     if sweep_name is None:
-        return [Unit(exp_id, 0, 1, params)]
-    sweep = params.get(sweep_name)
-    if sweep is None:
-        sweep = _sweep_default(exp.run, sweep_name)
-    points = list(sweep)
-    if len(points) <= 1:
-        return [Unit(exp_id, 0, 1, params)]
+        units = [Unit(exp_id, 0, 1, params)]
+    else:
+        sweep = params.get(sweep_name)
+        if sweep is None:
+            sweep = _sweep_default(exp.run, sweep_name)
+        points = list(sweep)
+        if len(points) <= 1:
+            units = [Unit(exp_id, 0, 1, params)]
+        else:
+            units = [
+                Unit(exp_id, i, len(points), {**params, sweep_name: (x,)},
+                     point=x)
+                for i, x in enumerate(points)
+            ]
+    if not intra or exp.intra_param is None or len(exp.intra_series) <= 1:
+        return units
+    # series are planned in the experiment's canonical (serial) order, so
+    # the union merge reassembles them exactly as a serial run would
     return [
-        Unit(exp_id, i, len(points), {**params, sweep_name: (x,)}, point=x)
-        for i, x in enumerate(points)
+        Unit(u.exp_id, u.index, u.total,
+             {**u.params, exp.intra_param: (name,)},
+             point=u.point, series=name)
+        for u in units
+        for name in exp.intra_series
     ]
 
 
@@ -144,10 +169,12 @@ def merge_results(
 ) -> FigureResult | TableResult:
     """Reassemble one experiment's unit results, in unit order.
 
-    Tables concatenate rows; figures concatenate each series' points.
-    With the units planned by :func:`plan_units` this reproduces the serial
-    result bit for bit: the serial loop appends the same points in the
-    same order.
+    Tables concatenate rows; figures union series by name, concatenating
+    each series' points.  With the units planned by :func:`plan_units` —
+    point-major, series in canonical order — this reproduces the serial
+    result bit for bit: a point-shard extends every series with the same
+    points the serial loop appends, and an intra-shard's lone series lands
+    (first occurrence) in the same position the serial figure lists it.
     """
     first = parts[0]
     if len(parts) == 1:
@@ -158,13 +185,17 @@ def merge_results(
     merged = dataclasses.replace(
         first, series=[dataclasses.replace(s, points=list(s.points))
                        for s in first.series])
+    by_name = {s.name: s for s in merged.series}
     for part in parts[1:]:
-        names = [s.name for s in part.series]
-        if names != [s.name for s in merged.series]:  # pragma: no cover
-            raise ValueError(
-                f"shards of {first!r} disagree on series: {names}")
-        for target, source in zip(merged.series, part.series):
-            target.points.extend(source.points)
+        for source in part.series:
+            target = by_name.get(source.name)
+            if target is None:
+                target = dataclasses.replace(source,
+                                             points=list(source.points))
+                merged.series.append(target)
+                by_name[source.name] = target
+            else:
+                target.points.extend(source.points)
     return merged
 
 
@@ -185,6 +216,7 @@ class UnitResult:
             "unit": self.unit.index,
             "total_units": self.unit.total,
             "point": repr(self.unit.point),
+            "series": self.unit.series,
             "quick": quick,
             "params": {k: repr(v) for k, v in sorted(self.unit.params.items())},
             "wall_s": round(self.wall_s, 3),
@@ -200,6 +232,7 @@ class SuiteResult:
     unit_results: dict[str, list[UnitResult]]
     workers: int
     quick: bool
+    intra_workers: int = 1
 
     def fingerprints(self) -> dict[str, str]:
         return {exp_id: fingerprint_result(res)
@@ -208,6 +241,7 @@ class SuiteResult:
     def manifest(self) -> dict[str, Any]:
         return {
             "workers": self.workers,
+            "intra_workers": self.intra_workers,
             "quick": self.quick,
             "python": sys.version.split()[0],
             "experiments": {
@@ -237,6 +271,7 @@ def run_suite(
     *,
     quick: bool = False,
     workers: int = 1,
+    intra_workers: int = 1,
     out_dir: Path | str | None = None,
     overrides: dict[str, dict[str, Any]] | None = None,
     progress: Callable[[str], None] | None = None,
@@ -248,6 +283,13 @@ def run_suite(
     paths run the identical unit plan and merge in planned order, so their
     results — and fingerprints — are identical.
 
+    ``intra_workers>1`` additionally splits each sweep point of an
+    experiment that declares an ``intra_param`` into one unit per
+    framework series, and widens the pool to at least that many workers —
+    the independent framework runs *inside* one figure point then execute
+    concurrently.  The plan changes but the merge reassembles the serial
+    result bit for bit, so fingerprints are still identical.
+
     ``overrides`` maps experiment id to parameter overrides (applied on
     top of quick params); ``out_dir`` enables manifests: one JSON per unit
     under ``units/``, a rendered ``<exp_id>.txt`` per experiment, and the
@@ -257,19 +299,23 @@ def run_suite(
     units: list[Unit] = []
     for exp_id in exp_ids:
         units.extend(plan_units(exp_id, quick=quick,
-                                overrides=(overrides or {}).get(exp_id)))
+                                overrides=(overrides or {}).get(exp_id),
+                                intra=intra_workers > 1))
+    pool_size = max(workers, intra_workers)
     say(f"planned {len(units)} units over {len(exp_ids)} experiments "
-        f"({workers} workers)")
+        f"({workers} workers"
+        + (f", {intra_workers} intra-workers" if intra_workers > 1 else "")
+        + ")")
 
     done: dict[str, UnitResult] = {}
-    if workers <= 1:
+    if pool_size <= 1:
         for unit in units:
             done[unit.key] = _run_unit(unit)
             say(f"  {unit.key}: {done[unit.key].wall_s:.2f}s")
     else:
         ctx = multiprocessing.get_context("spawn")
         with concurrent.futures.ProcessPoolExecutor(
-                max_workers=workers, mp_context=ctx) as pool:
+                max_workers=pool_size, mp_context=ctx) as pool:
             futures = {pool.submit(_run_unit, unit): unit for unit in units}
             for fut in concurrent.futures.as_completed(futures):
                 ur = fut.result()  # re-raises worker failures verbatim
@@ -283,7 +329,8 @@ def run_suite(
         unit_results[exp_id] = parts
         results[exp_id] = merge_results([p.result for p in parts])
     suite = SuiteResult(results=results, unit_results=unit_results,
-                        workers=workers, quick=quick)
+                        workers=workers, quick=quick,
+                        intra_workers=intra_workers)
     if out_dir is not None:
         write_manifests(suite, Path(out_dir))
     return suite

@@ -1,0 +1,420 @@
+"""Columnar record blocks: the vectorized data plane (PR 6).
+
+The simulator's data plane historically moved Python objects one at a
+time: a text split became a ``list[bytes]``, a Spark partition a
+``list[tuple]``, an MPI contribution vector a dense ``ndarray`` sliced
+per destination rank.  Per-record Python overhead — not the scheduler —
+dominated wall time, exactly the effect the surveyed papers report for
+real Spark-on-HPC deployments (serialization and object churn).
+
+This module introduces the block types that replace those hot lists with
+numpy-backed columns, under one inviolable rule:
+
+**The charge-replay rule.**  A block kernel may reorganize *host-side*
+computation freely, but it must issue the exact same sequence of
+virtual-time charges (same float values, same order, same owning
+process) as the scalar path, and produce bitwise-identical record
+values.  Anything observable in virtual time — event order, clock
+values, fingerprints — is then unchanged by construction.
+
+Escape hatch: ``REPRO_SPARK_SCALAR=1`` disables every block path at once
+(this module is its registered home; see ``repro.analysis.lint``).  CI
+runs the scalar and block planes differentially and asserts byte-equal
+fingerprints, mirroring the SLOWPATH and NOFUSE hatches.
+
+Block types
+-----------
+``RecordBlock``
+    A split's worth of newline-delimited records backed by one ``bytes``
+    buffer.  Slicing is zero-copy (offset views over the shared buffer);
+    ``decode_all`` decodes the whole buffer in one C call instead of
+    per-record.  Behaves as a ``Sequence[bytes]`` equal to the list the
+    scalar reader returns.
+``PairBlock``
+    An ``(int64 keys, float64 values)`` column pair for Spark shuffle
+    output of numeric aggregations.  Behaves as a ``Sequence`` of
+    ``(int, float)`` tuples; slicing is zero-copy.
+``ContribBlock``
+    A sparse per-destination-rank PageRank contribution vector
+    (indices + values + logical dense length).  Sized and summed as if
+    it were the dense ``float64`` slice it replaces, so MPI eager /
+    rendezvous protocol choices and combine charges are unchanged.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Sequence
+from typing import Iterator
+
+import numpy as np
+
+__all__ = [
+    "blocks_enabled",
+    "RecordBlock",
+    "PairBlock",
+    "ContribBlock",
+    "sum_by_key",
+    "as_pair_block",
+    "partition_pairs",
+]
+
+
+def blocks_enabled() -> bool:
+    """True unless ``REPRO_SPARK_SCALAR=1`` forces the scalar data plane.
+
+    Read at every call site (not cached) so tests can flip the hatch
+    between experiments within one process.
+    """
+    return os.environ.get("REPRO_SPARK_SCALAR", "") != "1"
+
+
+# ---------------------------------------------------------------------------
+# RecordBlock: newline-delimited byte records over one shared buffer
+# ---------------------------------------------------------------------------
+
+
+class RecordBlock(Sequence):
+    """Records of a text split as one buffer plus lazy line offsets.
+
+    Equal to (and substitutable for) the ``list[bytes]`` of lines the
+    scalar reader produced: no trailing newlines, trailing empty line
+    dropped.  ``len`` is O(1) amortized (one ``bytes.count``); slicing
+    returns a view sharing the buffer; full iteration materializes the
+    line list once (a single C-level ``split``) and caches it.
+    """
+
+    __slots__ = ("_buf", "_starts", "_ends", "_lines")
+
+    def __init__(self, buf: bytes,
+                 _starts: np.ndarray | None = None,
+                 _ends: np.ndarray | None = None) -> None:
+        self._buf = buf
+        self._starts = _starts
+        self._ends = _ends
+        self._lines: list[bytes] | None = None
+
+    # -- construction -----------------------------------------------------
+
+    @property
+    def buffer(self) -> bytes:
+        return self._buf
+
+    def _offsets(self) -> tuple[np.ndarray, np.ndarray]:
+        """Line [start, end) offsets into the buffer (computed lazily)."""
+        if self._starts is None:
+            buf = self._buf
+            nl = np.flatnonzero(np.frombuffer(buf, dtype=np.uint8) == 0x0A)
+            starts = np.empty(len(nl) + 1, dtype=np.int64)
+            starts[0] = 0
+            starts[1:] = nl + 1
+            ends = np.empty_like(starts)
+            ends[:-1] = nl
+            ends[-1] = len(buf)
+            if len(buf) == 0 or buf.endswith(b"\n"):
+                starts = starts[:-1]
+                ends = ends[:-1]
+            self._starts, self._ends = starts, ends
+        return self._starts, self._ends
+
+    # -- Sequence protocol ------------------------------------------------
+
+    def __len__(self) -> int:
+        if self._lines is not None:
+            return len(self._lines)
+        if self._starts is not None:
+            return len(self._starts)
+        buf = self._buf
+        n = buf.count(b"\n")
+        if buf and not buf.endswith(b"\n"):
+            n += 1
+        return n
+
+    def __getitem__(self, i):
+        if isinstance(i, slice):
+            starts, ends = self._offsets()
+            view = RecordBlock(self._buf, starts[i], ends[i])
+            if self._lines is not None:
+                view._lines = self._lines[i]
+            return view
+        if self._lines is not None:
+            return self._lines[i]
+        starts, ends = self._offsets()
+        if i < 0:
+            i += len(starts)
+        return self._buf[starts[i]:ends[i]]
+
+    def _materialize(self) -> list[bytes]:
+        if self._lines is None:
+            if self._starts is None:
+                lines = self._buf.split(b"\n")
+                if lines and lines[-1] == b"":
+                    lines.pop()
+                self._lines = lines
+            else:
+                buf = self._buf
+                self._lines = [buf[s:e] for s, e in
+                               zip(self._starts.tolist(), self._ends.tolist())]
+        return self._lines
+
+    def __iter__(self) -> Iterator[bytes]:
+        return iter(self._materialize())
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, RecordBlock):
+            return self._materialize() == other._materialize()
+        if isinstance(other, list):
+            return self._materialize() == other
+        return NotImplemented
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:
+        return f"RecordBlock({len(self)} records, {len(self._buf)} bytes)"
+
+    # -- batch kernels ----------------------------------------------------
+
+    def decode_all(self, encoding: str = "utf-8",
+                   errors: str = "replace") -> list[str]:
+        """Decode every record in one pass over the shared buffer.
+
+        Bitwise-equal to ``[r.decode(encoding, errors) for r in self]``
+        for utf-8: ``\\n`` is never part of a multibyte sequence and the
+        decoder resets at it, so splitting before or after decoding
+        yields the same strings.
+        """
+        if self._starts is not None and self._lines is None:
+            # A sliced view: decode only the covered records.
+            return [r.decode(encoding, errors) for r in self._materialize()]
+        text = self._buf.decode(encoding, errors)
+        out = text.split("\n")
+        if out and out[-1] == "":
+            out.pop()
+        return out
+
+
+# ---------------------------------------------------------------------------
+# PairBlock: (int64 key, float64 value) columns for numeric shuffles
+# ---------------------------------------------------------------------------
+
+
+class PairBlock(Sequence):
+    """A Spark partition of ``(int key, float value)`` pairs, columnar.
+
+    Iteration and indexing yield plain Python ``(int, float)`` tuples so
+    every scalar consumer (cogroup, collect, user lambdas under NOFUSE)
+    sees exactly what the list-of-tuples path produced.  Slicing returns
+    a zero-copy column view.
+    """
+
+    __slots__ = ("keys", "values")
+
+    def __init__(self, keys: np.ndarray, values: np.ndarray) -> None:
+        assert keys.dtype == np.int64 and values.dtype == np.float64
+        self.keys = keys
+        self.values = values
+
+    @classmethod
+    def from_pairs(cls, pairs) -> "PairBlock":
+        n = len(pairs)
+        keys = np.empty(n, dtype=np.int64)
+        values = np.empty(n, dtype=np.float64)
+        for i, (k, v) in enumerate(pairs):
+            keys[i] = k
+            values[i] = v
+        return cls(keys, values)
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def __getitem__(self, i):
+        if isinstance(i, slice):
+            return PairBlock(self.keys[i], self.values[i])
+        return (int(self.keys[i]), float(self.values[i]))
+
+    def __iter__(self):
+        return iter(zip(self.keys.tolist(), self.values.tolist()))
+
+    def to_pairs(self) -> list[tuple[int, float]]:
+        return list(zip(self.keys.tolist(), self.values.tolist()))
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, PairBlock):
+            return (np.array_equal(self.keys, other.keys)
+                    and np.array_equal(self.values, other.values))
+        if isinstance(other, list):
+            return self.to_pairs() == other
+        return NotImplemented
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:
+        return f"PairBlock({len(self)} pairs)"
+
+
+def as_pair_block(records) -> "PairBlock | None":
+    """Columnar view of a numeric pair partition, or ``None``.
+
+    Converts a list of ``(int, float)`` pairs (the shape a declared
+    ``vector="sum"`` aggregation asserts for its input) into a
+    :class:`PairBlock`; returns ``None`` when the records are not such a
+    list.  The declaration is the app's promise that *every* record is a
+    plain ``(int, float)`` 2-tuple — mixed key types (e.g. ``bool``)
+    would serialize to different sizes and must not be declared.
+    """
+    if isinstance(records, PairBlock):
+        return records
+    if not isinstance(records, list) or not records:
+        return None
+    for probe in (records[0], records[-1]):
+        if not (type(probe) is tuple and len(probe) == 2
+                and type(probe[0]) is int and type(probe[1]) is float):
+            return None
+    n = len(records)
+    try:
+        # keys convert int -> int64 directly (exact for every key the
+        # scalar hash/group path could distinguish, including > 2**53,
+        # unlike a float64 detour); OverflowError beyond int64 falls back
+        keys = np.fromiter((r[0] for r in records), dtype=np.int64, count=n)
+        keys_f = np.fromiter((r[0] for r in records), dtype=np.float64,
+                             count=n)
+        values = np.fromiter((r[1] for r in records), dtype=np.float64,
+                             count=n)
+    except (TypeError, ValueError, OverflowError):
+        return None
+    if not (keys == keys_f).all():  # a non-integral key past the probes
+        return None
+    return PairBlock(keys, values)
+
+
+def partition_pairs(block: PairBlock, nparts: int) -> "list[PairBlock]":
+    """Hash-partition a PairBlock into per-reduce blocks, order-preserving.
+
+    Replays the scalar loop exactly: bucket of an exact-int key under a
+    ``HashPartitioner`` is ``(key & 0x7FFFFFFF) % nparts`` (the int64
+    bitwise AND agrees with Python's on two's-complement), and the stable
+    argsort keeps each bucket's records in input order, as appending did.
+    """
+    bucket_ids = (block.keys & 0x7FFFFFFF) % nparts
+    order = np.argsort(bucket_ids, kind="stable")
+    sk = block.keys[order]
+    sv = block.values[order]
+    starts = np.searchsorted(bucket_ids[order], np.arange(nparts + 1))
+    return [PairBlock(sk[starts[b]:starts[b + 1]], sv[starts[b]:starts[b + 1]])
+            for b in range(nparts)]
+
+
+def sum_by_key(keys: np.ndarray, values: np.ndarray) -> PairBlock:
+    """Group-sum ``values`` by ``keys``, bit-identical to the dict loop.
+
+    The scalar merge does ``out[k] = out[k] + v`` in record order, which
+    for each key sums its values in first-to-last order and emits keys in
+    first-occurrence order (dict insertion order).  We replay both:
+
+    * ``np.add.at`` is the *unbuffered* scatter-add — it applies the
+      additions strictly in index order, so per-key accumulation order
+      matches the dict loop;
+    * the first occurrence is **assigned** (not added to zero), so
+      ``-0.0`` and NaN payloads survive bit-for-bit;
+    * output slots are ordered by each key's first occurrence.
+    """
+    uniq, first_idx, inverse = np.unique(
+        keys, return_index=True, return_inverse=True)
+    order = np.argsort(first_idx, kind="stable")
+    rank_of = np.empty(len(uniq), dtype=np.int64)
+    rank_of[order] = np.arange(len(uniq), dtype=np.int64)
+    slots = rank_of[inverse]
+    out_keys = uniq[order]
+    out_vals = np.empty(len(uniq), dtype=np.float64)
+    out_vals[rank_of] = values[first_idx]
+    rest = np.ones(len(keys), dtype=bool)
+    rest[first_idx] = False
+    np.add.at(out_vals, slots[rest], values[rest])
+    return PairBlock(out_keys, out_vals)
+
+
+# ---------------------------------------------------------------------------
+# ContribBlock: sparse PageRank contributions that charge like dense
+# ---------------------------------------------------------------------------
+
+
+class ContribBlock:
+    """Sparse stand-in for a dense per-rank contribution slice.
+
+    ``idx``/``vals`` hold the touched positions of a logical dense
+    ``float64[length]`` vector whose untouched entries are exactly
+    ``0.0``.  It reports the *dense* byte size, so nbytes-driven charges
+    and the eager/rendezvous protocol choice match the dense path, while
+    transport skips materializing (and copying) the zeros.
+
+    Summation (``reduce_scatter_block``) densifies on the first add and
+    then scatter-adds only touched positions.  The dense path would add
+    an explicit ``0.0`` at every untouched position; skipping it is a
+    bitwise no-op because ``x + 0.0 == x`` for every float ``x`` except
+    ``-0.0`` (and quiet-NaN payloads).  Producers must therefore never
+    emit ``-0.0`` or NaN values — PageRank contributions are strictly
+    positive, and the differential CI job enforces the invariant
+    end-to-end.
+    """
+
+    __slots__ = ("idx", "vals", "length")
+    __array_ufunc__ = None  # keep numpy from broadcasting over us
+
+    def __init__(self, idx: np.ndarray, vals: np.ndarray, length: int) -> None:
+        self.idx = idx
+        self.vals = vals
+        self.length = length
+
+    @property
+    def nbytes(self) -> int:
+        return 8 * self.length  # the dense float64 slice it stands in for
+
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros(self.length, dtype=np.float64)
+        out[self.idx] = self.vals
+        return out
+
+    def __add__(self, other):
+        if isinstance(other, ContribBlock):
+            acc = _Accum(self.to_dense())
+            return acc + other
+        return NotImplemented
+
+    def __radd__(self, other):
+        if isinstance(other, np.ndarray):
+            out = other.copy()
+            np.add.at(out, self.idx, self.vals)
+            return out
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"ContribBlock({len(self.idx)}/{self.length} touched)"
+
+
+class _Accum:
+    """Owned dense accumulator produced mid-reduction.
+
+    ``ContribBlock + ContribBlock`` returns one of these; further
+    ``_Accum + ContribBlock`` adds accumulate **in place** (the array is
+    private to the reduction), avoiding a dense copy per reduction step.
+    Sized like the array it wraps so the final combine charge matches.
+    """
+
+    __slots__ = ("array",)
+    __array_ufunc__ = None
+
+    def __init__(self, array: np.ndarray) -> None:
+        self.array = array
+
+    @property
+    def nbytes(self) -> int:
+        return self.array.nbytes
+
+    def to_dense(self) -> np.ndarray:
+        return self.array
+
+    def __add__(self, other):
+        if isinstance(other, ContribBlock):
+            np.add.at(self.array, other.idx, other.vals)
+            return self
+        return NotImplemented

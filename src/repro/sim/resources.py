@@ -81,6 +81,9 @@ class FluidResource:
 class Flow:
     """One in-progress bulk transfer across a set of fluid resources."""
 
+    __slots__ = ("id", "owner", "resources", "remaining", "rate_cap",
+                 "label", "rate", "finish")
+
     _ids = itertools.count()
 
     def __init__(
@@ -202,8 +205,11 @@ class FlowSystem:
         dt = max(0.0, t - self.now)
         if dt > 0.0:
             for f in self.flows:
-                f.remaining = max(0.0, f.remaining - f.rate * dt)
-        self.now = max(self.now, t)
+                rem = f.remaining - f.rate * dt
+                f.remaining = rem if rem > 0.0 else 0.0
+            self.now = t
+        elif t > self.now:
+            self.now = t
 
     def _remove(self, flow: Flow, t: float) -> None:
         self.flows.discard(flow)
@@ -223,15 +229,25 @@ class FlowSystem:
         holds exactly that subset).
         """
         shares: dict[FluidResource, float] = {}
+        get_share = shares.get
         for f in self.flows if flows is None else flows:
             # fair_share() is pure within one pass (flow membership is fixed
             # here), so compute it once per resource; min over the same
             # float values is bit-identical to the uncached expression.
+            # The body is inlined (this is the hottest loop of the fabric
+            # model): with no efficiency curve, ``capacity * 1.0 / n`` is
+            # bitwise ``capacity / n``, and ``n >= 1`` because ``f`` itself
+            # is a member of each of its resources.
             rate = None
             for r in f.resources:
-                s = shares.get(r)
+                s = get_share(r)
                 if s is None:
-                    s = shares[r] = r.fair_share()
+                    eff_fn = r.efficiency
+                    if eff_fn is None:
+                        s = r.capacity / len(r.flows)
+                    else:
+                        s = r.fair_share()
+                    shares[r] = s
                 if rate is None or s < rate:
                     rate = s
             if f.rate_cap is not None:
@@ -242,7 +258,8 @@ class FlowSystem:
             finish = t + f.remaining / rate
             if finish != f.finish:
                 f.finish = finish
-                if f.owner.waiting_on and f.owner.waiting_on.startswith("flow:"):
+                owner_waiting = f.owner.waiting_on
+                if owner_waiting is not None and owner_waiting.startswith("flow:"):
                     f.owner._revise_wake(finish)
 
 

@@ -93,6 +93,10 @@ class ShuffleDependency(Dependency):
         #: shuffle write, which folds the combine into the partitioning
         #: pass instead of materialising a combined list first
         self.combiner: tuple[Callable, Callable] | None = None
+        #: declared columnar semantics of the combiner (``"sum"``), set by
+        #: the consuming ShuffledRDD; lets the writer use the vectorized
+        #: combining kernel on numeric pair partitions
+        self.vector: str | None = None
 
 
 class RDD:
@@ -195,12 +199,22 @@ class RDD:
             lambda _i, it: [x for x in it if pred(x)], cost=cost, name="filter",
             record_op=("filter", pred))
 
-    def map_values(self, f: Callable[[Any], Any], *, cost: float = 0.0) -> "RDD":
-        """Transform values of (k, v) pairs; *preserves partitioning*."""
+    def map_values(self, f: Callable[[Any], Any], *, cost: float = 0.0,
+                   vector: Callable | None = None) -> "RDD":
+        """Transform values of (k, v) pairs; *preserves partitioning*.
+
+        ``vector`` optionally supplies the columnar twin of ``f``: a
+        function over a ``float64`` values array that the caller asserts
+        is *bitwise* elementwise-equal to mapping ``f`` (e.g. an affine
+        update — numpy applies the same IEEE double ops).  It is used
+        only when the partition arrives as a
+        :class:`~repro.sim.blocks.PairBlock`; charges are identical, and
+        the scalar ``f`` remains authoritative everywhere else.
+        """
         return self.map_partitions(
             lambda _i, it: [(k, f(v)) for k, v in it],
             preserves_partitioning=True, cost=cost, name="mapValues",
-            record_op=("map_values", f))
+            record_op=("map_values", f, vector))
 
     def flat_map_values(self, f: Callable[[Any], Iterable], *,
                         cost: float = 0.0) -> "RDD":
@@ -291,19 +305,30 @@ class RDD:
     def combine_by_key(self, create: Callable, merge_value: Callable,
                        merge_combiners: Callable,
                        num_partitions: int | None = None, *,
-                       map_side_combine: bool = True) -> "RDD":
-        """The general keyed aggregation (Spark's ``combineByKey``)."""
+                       map_side_combine: bool = True,
+                       vector: str | None = None) -> "RDD":
+        """The general keyed aggregation (Spark's ``combineByKey``).
+
+        ``vector="sum"`` declares that ``create`` is the identity and both
+        merge functions are numeric addition, allowing the columnar
+        group-sum kernel (:func:`repro.sim.blocks.sum_by_key`) on numeric
+        pair partitions.  The scalar functions stay authoritative for
+        non-numeric records and under ``REPRO_SPARK_SCALAR=1``.
+        """
         part = HashPartitioner(num_partitions or self.num_partitions)
         return ShuffledRDD(
             self, part,
             aggregator=(create, merge_value, merge_combiners),
             map_side_combine=map_side_combine,
+            vector=vector,
         )
 
     def reduce_by_key(self, f: Callable[[Any, Any], Any],
-                      num_partitions: int | None = None) -> "RDD":
+                      num_partitions: int | None = None, *,
+                      vector: str | None = None) -> "RDD":
         """Merge values per key with map-side combining."""
-        return self.combine_by_key(lambda v: v, f, f, num_partitions)
+        return self.combine_by_key(lambda v: v, f, f, num_partitions,
+                                   vector=vector)
 
     def group_by_key(self, num_partitions: int | None = None) -> "RDD":
         """All values per key (no map-side combine — same caveat as Spark)."""
@@ -690,12 +715,17 @@ class TextFileRDD(RDD):
 
     def compute(self, index: int, ctx: "TaskContext") -> list:
         from repro.fs.records import read_split_records
+        from repro.sim.blocks import RecordBlock
 
         start, end = self._splits[index]
         raw = read_split_records(self.fs, ctx.proc, self.path, start, end)
         ctx.charge_records(len(raw))
         # decode cost is part of the JVM text-parsing rate
         ctx.charge_bytes(max(1, end - start), ctx.costs.parse_rate_jvm)
+        if isinstance(raw, RecordBlock):
+            # one C-level decode of the split buffer; string-equal to the
+            # per-record decode (see RecordBlock.decode_all)
+            return raw.decode_all()
         return [r.decode("utf-8", errors="replace") for r in raw]
 
     def preferred_nodes(self, index: int) -> list[int]:
@@ -741,6 +771,14 @@ class MapPartitionsRDD(RDD):
             parent = parent.deps[0].parent
         records = ctx.iterator(parent, index)
         if len(chain) == 1:
+            from repro.sim.blocks import PairBlock
+
+            if isinstance(records, PairBlock):
+                vec_out = _vector_stage(self, records)
+                if vec_out is not None:
+                    ctx.charge_records(len(records),
+                                       extra=self.cost_per_record)
+                    return vec_out
             ctx.charge_records(len(records), extra=self.cost_per_record)
             return self.f(index, records)
         chain.reverse()
@@ -748,6 +786,22 @@ class MapPartitionsRDD(RDD):
 
     def _op_name(self) -> str:
         return self.name
+
+
+def _vector_stage(level: MapPartitionsRDD, records) -> "Any | None":
+    """Columnar application of one fused level to a PairBlock, or None.
+
+    Only operators whose columnar twin was *declared* by the application
+    (``map_values(..., vector=...)``) qualify; the caller charges the
+    identical per-level cost before use.
+    """
+    from repro.sim.blocks import PairBlock, blocks_enabled
+
+    op = level.record_op
+    if (op is not None and op[0] == "map_values" and len(op) > 2
+            and op[2] is not None and blocks_enabled()):
+        return PairBlock(records.keys, op[2](records.values))
+    return None
 
 
 def _eval_fused_chain(chain: list[MapPartitionsRDD], index: int,
@@ -760,10 +814,25 @@ def _eval_fused_chain(chain: list[MapPartitionsRDD], index: int,
     Only the host-side intermediate list per operator is elided, for runs
     of levels whose ``record_op`` is known; generic ``map_partitions``
     levels still apply their whole-partition function.
+
+    Partitions arriving as a :class:`~repro.sim.blocks.PairBlock` flow
+    through declared columnar operators without leaving column form;
+    the first level without a columnar twin sees the block as a plain
+    sequence of pairs (``level.f`` iterates it) and the chain continues
+    scalar from there.
     """
+    from repro.sim.blocks import PairBlock
+
     i, n = 0, len(chain)
     while i < n:
         level = chain[i]
+        if isinstance(records, PairBlock):
+            vec_out = _vector_stage(level, records)
+            if vec_out is not None:
+                ctx.charge_records(len(records), extra=level.cost_per_record)
+                records = vec_out
+                i += 1
+                continue
         if level.record_op is None:
             ctx.charge_records(len(records), extra=level.cost_per_record)
             records = level.f(index, records)
@@ -935,15 +1004,18 @@ class ShuffledRDD(RDD):
 
     def __init__(self, parent: RDD, partitioner: Partitioner,
                  aggregator: tuple[Callable, Callable, Callable] | None = None,
-                 map_side_combine: bool = False) -> None:
+                 map_side_combine: bool = False,
+                 vector: str | None = None) -> None:
         dep = ShuffleDependency(parent, partitioner)
         super().__init__(parent.sc, [dep], partitioner.num_partitions)
         self.partitioner = partitioner
         self.aggregator = aggregator
+        self.vector = vector if aggregator is not None else None
         self.map_side_combine = map_side_combine and aggregator is not None
         if self.map_side_combine:
             dep.prepare = self.map_side_prepare
             dep.combiner = (aggregator[0], aggregator[1])
+            dep.vector = self.vector
 
     @property
     def shuffle_dep(self) -> ShuffleDependency:
@@ -957,6 +1029,16 @@ class ShuffledRDD(RDD):
         if self.aggregator is None:
             return records
         create, merge_value, merge_combiners = self.aggregator
+        if self.vector == "sum" and self.map_side_combine:
+            from repro.sim.blocks import PairBlock, sum_by_key
+
+            if isinstance(records, PairBlock):
+                # Columnar twin of the dict merge below: first-occurrence
+                # key order, per-key left-to-right addition (sum_by_key's
+                # charge-replay argument); same reduce-side charge.
+                out_block = sum_by_key(records.keys, records.values)
+                ctx.charge_records(len(records))
+                return out_block
         out: dict = {}
         get = out.get
         if self.map_side_combine:

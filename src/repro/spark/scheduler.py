@@ -159,7 +159,7 @@ def run_shuffle_map_task(env: "SparkEnv", executor: "Executor",
         # partitioning pass (charge-identical to prepare-then-write)
         ShuffleWriter(env).write(
             ctx.proc, executor, dep.shuffle_id, partition, dep.partitioner,
-            records, combiner=dep.combiner)
+            records, combiner=dep.combiner, vector=dep.vector)
         return ctx
     if dep.prepare is not None:
         records = dep.prepare(records, ctx)

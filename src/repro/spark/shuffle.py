@@ -161,7 +161,8 @@ class ShuffleWriter:
 
     def write(self, proc: SimProcess, executor: "Any", shuffle_id: int,
               map_id: int, partitioner: "Any", records: list, *,
-              combiner: tuple | None = None) -> None:
+              combiner: tuple | None = None,
+              vector: str | None = None) -> None:
         """Partition ``records`` into buckets, spill to local disk, register.
 
         Single pass over preallocated buckets.  When ``combiner`` is given
@@ -170,7 +171,15 @@ class ShuffleWriter:
         the separate pre-combined list the two-pass path materialises.
         Charges are identical either way: the combine pass's per-record
         charge (input length) followed by the write's (output length).
+
+        ``vector="sum"`` (the consuming RDD's declaration) enables the
+        columnar combine + partition kernels on numeric pair partitions;
+        bucket contents, per-bucket order and every charge are identical
+        to the scalar pass (see :mod:`repro.sim.blocks`).
         """
+        from repro.sim.blocks import (PairBlock, as_pair_block, blocks_enabled,
+                                      partition_pairs, sum_by_key)
+
         costs = self.env.costs
         scale = self.env.record_scale
         part = partitioner.partition
@@ -209,6 +218,15 @@ class ShuffleWriter:
             if hit is not None:
                 _, bucket_lists, sizes, total, buckets = hit
                 cache.move_to_end(key)
+            elif int_hash and isinstance(records, PairBlock):
+                # columnar bucketing: same buckets, same order, same sizes
+                bucket_lists = partition_pairs(records, nparts)
+                sizes, total, buckets = self._sizes(bucket_lists, scale)
+                if cache is not None:
+                    cache[key] = (records, bucket_lists, sizes, total,
+                                  buckets)
+                    if len(cache) > 128:
+                        cache.popitem(last=False)
             else:
                 bucket_lists = [[] for _ in range(nparts)]
                 # For exact-int keys under a HashPartitioner the hash is
@@ -234,30 +252,40 @@ class ShuffleWriter:
                         cache.popitem(last=False)
             proc.compute(len(records) * scale * costs.spark_record_overhead)
         else:
-            create, merge_value = combiner
-            combined: dict = {}
-            get = combined.get
-            try:
-                for k, v in records:
-                    prev = get(k, _MISSING)
-                    combined[k] = (create(v) if prev is _MISSING
-                                   else merge_value(prev, v))
-            except TypeError as exc:
-                raise SparkError(
-                    f"keyed operation over non-pair records: {exc}"
-                ) from exc
-            # Partition the combined output (one hash per distinct key,
-            # not per input record); per-bucket order is the dict's
-            # first-occurrence order, identical to partitioning the
-            # two-pass path's materialised combined list.
-            bucket_lists = [[] for _ in range(nparts)]
             int_hash = type(partitioner) is HashPartitioner
-            for kv in combined.items():
-                k = kv[0]
-                if int_hash and type(k) is int:
-                    bucket_lists[(k & 0x7FFFFFFF) % nparts].append(kv)
-                else:
-                    bucket_lists[part(k)].append(kv)
+            pair_block = None
+            if vector == "sum" and int_hash and blocks_enabled():
+                pair_block = as_pair_block(records)
+            if pair_block is not None:
+                # Columnar combining write: group-sum in first-occurrence
+                # order (bitwise the dict combine, see sum_by_key), then
+                # columnar bucketing.
+                combined = sum_by_key(pair_block.keys, pair_block.values)
+                bucket_lists = partition_pairs(combined, nparts)
+            else:
+                create, merge_value = combiner
+                combined: dict = {}
+                get = combined.get
+                try:
+                    for k, v in records:
+                        prev = get(k, _MISSING)
+                        combined[k] = (create(v) if prev is _MISSING
+                                       else merge_value(prev, v))
+                except TypeError as exc:
+                    raise SparkError(
+                        f"keyed operation over non-pair records: {exc}"
+                    ) from exc
+                # Partition the combined output (one hash per distinct key,
+                # not per input record); per-bucket order is the dict's
+                # first-occurrence order, identical to partitioning the
+                # two-pass path's materialised combined list.
+                bucket_lists = [[] for _ in range(nparts)]
+                for kv in combined.items():
+                    k = kv[0]
+                    if int_hash and type(k) is int:
+                        bucket_lists[(k & 0x7FFFFFFF) % nparts].append(kv)
+                    else:
+                        bucket_lists[part(k)].append(kv)
             # combine charge (input length), then write charge (combined)
             proc.compute(len(records) * scale * costs.spark_record_overhead)
             proc.compute(len(combined) * scale * costs.spark_record_overhead)
@@ -336,9 +364,21 @@ class ShuffleReader:
             out = hit[1]
             cache.move_to_end(key)
         else:
-            out = []
-            for records in parts:
-                out.extend(records)
+            from repro.sim.blocks import PairBlock
+
+            filled = [p for p in parts if len(p)]
+            if filled and all(isinstance(p, PairBlock) for p in filled):
+                # columnar concatenation in map order — element-equal to
+                # extending a list bucket by bucket
+                import numpy as np
+
+                out = PairBlock(
+                    np.concatenate([p.keys for p in filled]),
+                    np.concatenate([p.values for p in filled]))
+            else:
+                out = []
+                for records in parts:
+                    out.extend(records)
             cache[key] = (parts, out)
             if len(cache) > 128:
                 cache.popitem(last=False)

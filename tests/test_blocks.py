@@ -1,0 +1,316 @@
+"""The columnar data plane: block kernels + scalar-vs-blocks differentials.
+
+Two halves:
+
+* unit tests pinning each kernel in :mod:`repro.sim.blocks` to the exact
+  scalar semantics it replays (record splitting, dict-merge group-sum,
+  hash partitioning, sparse contribution adds) — including the ``-0.0``
+  and NaN bit-preservation corners the charge-replay rule depends on;
+* differential tests running miniature Fig 4 / Fig 6 workloads under
+  ``REPRO_SPARK_SCALAR=1`` vs the block kernels (and ``REPRO_SPARK_NOFUSE``
+  vs fused) and asserting byte-identical result fingerprints plus
+  identical trace-event streams.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import figures
+from repro.platform import Dataset, ScenarioSpec, fingerprint_result
+from repro.sim.blocks import (
+    ContribBlock,
+    PairBlock,
+    RecordBlock,
+    as_pair_block,
+    blocks_enabled,
+    partition_pairs,
+    sum_by_key,
+)
+from repro.workloads.graphs import GraphSpec
+from repro.workloads.stackexchange import StackExchangeSpec
+
+# ---------------------------------------------------------------------------
+# RecordBlock
+# ---------------------------------------------------------------------------
+
+
+def scalar_lines(buf: bytes) -> list[bytes]:
+    """The scalar reader's record list for a split buffer."""
+    lines = buf.split(b"\n")
+    if lines and lines[-1] == b"":
+        lines.pop()
+    return lines
+
+
+class TestRecordBlock:
+    BUFS = [b"", b"a", b"a\n", b"a\nbb\nccc", b"a\nbb\nccc\n", b"\n\nx\n"]
+
+    @pytest.mark.parametrize("buf", BUFS)
+    def test_equals_scalar_split(self, buf):
+        assert RecordBlock(buf) == scalar_lines(buf)
+
+    @pytest.mark.parametrize("buf", BUFS)
+    def test_len_with_and_without_offsets(self, buf):
+        block = RecordBlock(buf)
+        n = len(block)  # O(1) count path, offsets not yet built
+        assert n == len(scalar_lines(buf))
+        list(block)  # materialize
+        assert len(block) == n
+
+    def test_indexing_and_slicing(self):
+        buf = b"a\nbb\nccc\ndddd\n"
+        block = RecordBlock(buf)
+        ref = scalar_lines(buf)
+        assert block[0] == b"a" and block[-1] == b"dddd"
+        view = block[1:3]
+        assert isinstance(view, RecordBlock)
+        assert view == ref[1:3]
+        assert view.buffer is buf  # zero-copy: shares the split buffer
+        assert list(block[::2]) == ref[::2]
+
+    @pytest.mark.parametrize("buf", BUFS)
+    def test_decode_all_matches_per_record(self, buf):
+        block = RecordBlock(buf)
+        assert block.decode_all() == [r.decode("utf-8", "replace")
+                                      for r in scalar_lines(buf)]
+
+    def test_decode_all_on_sliced_view(self):
+        block = RecordBlock(b"a\nbb\nccc\n")[1:]
+        assert block.decode_all() == ["bb", "ccc"]
+
+    def test_multibyte_utf8_survives_batch_decode(self):
+        buf = "héllo\nwörld\n".encode()
+        assert RecordBlock(buf).decode_all() == ["héllo", "wörld"]
+
+
+# ---------------------------------------------------------------------------
+# PairBlock + kernels
+# ---------------------------------------------------------------------------
+
+
+class TestPairBlock:
+    def test_roundtrip_and_scalar_types(self):
+        pairs = [(3, 1.5), (-1, 2.0), (3, 0.25)]
+        block = PairBlock.from_pairs(pairs)
+        assert block.to_pairs() == pairs
+        assert block == pairs
+        k, v = block[1]
+        assert type(k) is int and type(v) is float
+        assert all(type(k) is int and type(v) is float for k, v in block)
+
+    def test_slice_is_zero_copy_view(self):
+        block = PairBlock.from_pairs([(i, float(i)) for i in range(6)])
+        view = block[2:5]
+        assert isinstance(view, PairBlock)
+        assert view.keys.base is not None  # numpy view, not a copy
+        assert view.to_pairs() == [(2, 2.0), (3, 3.0), (4, 4.0)]
+
+
+class TestAsPairBlock:
+    def test_accepts_int_float_pairs(self):
+        block = as_pair_block([(1, 2.0), (2, 3.5)])
+        assert isinstance(block, PairBlock)
+        assert block.to_pairs() == [(1, 2.0), (2, 3.5)]
+
+    def test_passthrough_for_existing_block(self):
+        block = PairBlock.from_pairs([(1, 1.0)])
+        assert as_pair_block(block) is block
+
+    def test_large_int_keys_stay_exact(self):
+        # a float64 detour would silently round 2**53 + 1 onto 2**53,
+        # merging two keys the scalar dict keeps distinct
+        block = as_pair_block([(2 ** 53, 1.0), (2 ** 53 + 1, 2.0)])
+        assert block.keys.tolist() == [2 ** 53, 2 ** 53 + 1]
+
+    @pytest.mark.parametrize("records", [
+        [],                         # empty: nothing to vectorize
+        [(True, 1.0)],              # bool key serializes differently
+        [(1, 1)],                   # int payload, not float
+        [(1.0, 1.0)],               # float key
+        [(1, 2.0, 3.0)],            # wrong arity
+        ["ab"],                     # not tuples at all
+        [(1, 1.0), (2.5, 1.0), (2, 1.0)],  # non-integral key mid-list
+        [(1, 1.0), (2 ** 64, 1.0)],  # key overflows int64
+        [(1, 1.0), "xy"],           # mixed shapes
+        (1, 2.0),                   # not a list
+    ])
+    def test_rejects_non_pair_shapes(self, records):
+        assert as_pair_block(records) is None
+
+
+class TestPartitionPairs:
+    def test_matches_scalar_hash_partitioning(self):
+        rng = np.random.default_rng(7)
+        keys = rng.integers(-10**6, 10**6, size=500).tolist()
+        pairs = [(int(k), float(i)) for i, k in enumerate(keys)]
+        nparts = 7
+        buckets = [[] for _ in range(nparts)]
+        for k, v in pairs:  # the scalar writer's append loop
+            buckets[(k & 0x7FFFFFFF) % nparts].append((k, v))
+        out = partition_pairs(PairBlock.from_pairs(pairs), nparts)
+        assert len(out) == nparts
+        for got, want in zip(out, buckets):
+            assert got.to_pairs() == want
+
+
+class TestSumByKey:
+    @staticmethod
+    def dict_merge(pairs):
+        out: dict[int, float] = {}
+        for k, v in pairs:  # the scalar combiner
+            out[k] = out[k] + v if k in out else v
+        return list(out.items())
+
+    def test_matches_dict_merge(self):
+        rng = np.random.default_rng(11)
+        pairs = [(int(k), float(v)) for k, v in
+                 zip(rng.integers(0, 40, size=300),
+                     rng.standard_normal(300))]
+        block = PairBlock.from_pairs(pairs)
+        got = sum_by_key(block.keys, block.values)
+        want = self.dict_merge(pairs)
+        # first-occurrence key order and bit-exact sums
+        assert got.keys.tolist() == [k for k, _ in want]
+        assert got.values.tobytes() == \
+            np.array([v for _, v in want], dtype=np.float64).tobytes()
+
+    def test_negative_zero_and_nan_survive(self):
+        pairs = [(5, -0.0), (3, math.nan), (7, 1.0)]
+        block = PairBlock.from_pairs(pairs)
+        got = sum_by_key(block.keys, block.values)
+        assert got.keys.tolist() == [5, 3, 7]
+        assert math.copysign(1.0, got.values[0]) == -1.0  # -0.0 assigned
+        assert math.isnan(got.values[1])
+
+    def test_accumulation_order_is_record_order(self):
+        # 0.1 + 0.2 + 0.3 != 0.1 + (0.2 + 0.3) in float64: the kernel must
+        # add left-to-right like the dict loop, not in any other order
+        pairs = [(1, 0.1), (1, 0.2), (1, 0.3)]
+        block = PairBlock.from_pairs(pairs)
+        got = sum_by_key(block.keys, block.values)
+        assert got.values[0].hex() == ((0.1 + 0.2) + 0.3).hex()
+
+
+# ---------------------------------------------------------------------------
+# ContribBlock
+# ---------------------------------------------------------------------------
+
+
+class TestContribBlock:
+    @staticmethod
+    def contrib(idx, vals, length):
+        return ContribBlock(np.asarray(idx, dtype=np.int64),
+                            np.asarray(vals, dtype=np.float64), length)
+
+    def test_sizes_as_the_dense_slice(self):
+        blk = self.contrib([1], [2.0], 100)
+        assert blk.nbytes == np.zeros(100, dtype=np.float64).nbytes
+
+    def test_to_dense(self):
+        blk = self.contrib([0, 3], [1.5, 2.5], 5)
+        assert blk.to_dense().tolist() == [1.5, 0.0, 0.0, 2.5, 0.0]
+
+    def test_reduce_chain_matches_dense_sum(self):
+        rng = np.random.default_rng(3)
+        length = 50
+        blocks, dense = [], []
+        for _ in range(4):
+            idx = np.unique(rng.integers(0, length, size=20)).astype(np.int64)
+            vals = np.abs(rng.standard_normal(len(idx))) + 0.1
+            blocks.append(ContribBlock(idx, vals, length))
+            dense.append(blocks[-1].to_dense())
+        acc = blocks[0]
+        ref = dense[0]
+        for blk, d in zip(blocks[1:], dense[1:]):
+            acc = acc + blk  # the reduce_scatter combine chain
+            ref = ref + d
+        assert acc.to_dense().tobytes() == ref.tobytes()
+
+    def test_radd_onto_dense_array(self):
+        base = np.array([1.0, 2.0, 3.0])
+        out = base + self.contrib([2], [0.5], 3)
+        assert out.tolist() == [1.0, 2.0, 3.5]
+        assert base.tolist() == [1.0, 2.0, 3.0]  # left operand copied
+
+
+# ---------------------------------------------------------------------------
+# differentials: scalar vs blocks, nofuse vs fused
+# ---------------------------------------------------------------------------
+
+#: miniature figure runs, big enough to exercise every vectorized layer
+#: (RecordBlock splits, PairBlock shuffles, sparse MPI contributions)
+MINI = {
+    "fig4": lambda: figures.fig4(
+        proc_counts=(4, 8), procs_per_node=4, logical_size=10**8,
+        spec=StackExchangeSpec(n_posts=1500)),
+    "fig6": lambda: figures.fig6(
+        node_counts=(1, 2), procs_per_node=2,
+        graph=GraphSpec(n_vertices=600, out_degree=3),
+        iterations=2, spark_physical_vertices=600),
+}
+
+
+class TestDifferentialFingerprints:
+    @pytest.mark.parametrize("fig", sorted(MINI))
+    def test_scalar_and_blocks_fingerprints_match(self, fig, monkeypatch):
+        monkeypatch.setenv("REPRO_SPARK_SCALAR", "1")
+        assert not blocks_enabled()
+        scalar_fp = fingerprint_result(MINI[fig]())
+        monkeypatch.delenv("REPRO_SPARK_SCALAR")
+        assert blocks_enabled()
+        assert fingerprint_result(MINI[fig]()) == scalar_fp
+
+    @pytest.mark.parametrize("fig", sorted(MINI))
+    def test_nofuse_and_fused_fingerprints_match(self, fig, monkeypatch):
+        monkeypatch.setenv("REPRO_SPARK_NOFUSE", "1")
+        nofuse_fp = fingerprint_result(MINI[fig]())
+        monkeypatch.delenv("REPRO_SPARK_NOFUSE")
+        assert fingerprint_result(MINI[fig]()) == nofuse_fp
+
+
+def _traced_pagerank() -> list:
+    """One traced Spark PageRank run's events (PairBlock-heavy)."""
+    from repro.apps import spark_pagerank_bigdatabench
+    from repro.workloads.graphs import ring_edge_list_content
+
+    graph = GraphSpec(n_vertices=200, out_degree=4)
+    session = ScenarioSpec(
+        nodes=2, procs_per_node=4, hb=True,
+        datasets=(Dataset("edges.txt", ring_edge_list_content(graph),
+                          on=("hdfs",)),)).session()
+    spark_pagerank_bigdatabench.run_in(session, "hdfs://edges.txt",
+                                       graph.n_vertices, 4, iterations=2)
+    return session.trace.events
+
+
+def _traced_answers_count() -> list:
+    """One traced Spark AnswersCount run's events (RecordBlock-heavy)."""
+    from repro.apps import spark_answers_count
+    from repro.workloads.stackexchange import stackexchange_content
+
+    content = stackexchange_content(StackExchangeSpec(n_posts=500))
+    session = ScenarioSpec(
+        nodes=2, procs_per_node=4, hb=True,
+        datasets=(Dataset("posts.txt", content),)).session()
+    spark_answers_count.run_in(session, "hdfs://posts.txt", 4,
+                               executor_nodes=[0, 1])
+    return session.trace.events
+
+
+class TestDifferentialTraces:
+    @pytest.mark.parametrize("traced", [_traced_pagerank,
+                                        _traced_answers_count])
+    def test_event_streams_identical_scalar_vs_blocks(self, traced,
+                                                      monkeypatch):
+        monkeypatch.setenv("REPRO_SPARK_SCALAR", "1")
+        scalar = traced()
+        monkeypatch.delenv("REPRO_SPARK_SCALAR")
+        blocks = traced()
+        assert len(blocks) == len(scalar)
+        # same events at the same (bit-exact) virtual times, same owners
+        assert [(e.time, e.proc, e.kind) for e in blocks] == \
+            [(e.time, e.proc, e.kind) for e in scalar]

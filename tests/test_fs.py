@@ -338,7 +338,7 @@ class TestRecordSplitting:
 
     def test_iter_all_records_matches(self):
         _, fs = self._fs_with_lines(7)
-        assert iter_all_records(fs, "lines.txt") == [
+        assert list(iter_all_records(fs, "lines.txt")) == [
             f"record-{i:04d}".encode() for i in range(7)
         ]
 
@@ -368,7 +368,7 @@ class TestRecordSplitting:
 
         cl.spawn(body, node_id=0, name="splitter")
         cl.run()
-        assert collected == iter_all_records(fs, "lines.txt")
+        assert collected == list(iter_all_records(fs, "lines.txt"))
 
     @given(scale=st.sampled_from([1, 3, 10, 1000]), n_splits=st.integers(1, 5))
     @settings(max_examples=20, deadline=None)
@@ -390,7 +390,7 @@ class TestRecordSplitting:
 
         cl.spawn(body, node_id=0, name="splitter")
         cl.run()
-        assert collected == iter_all_records(fs, "lines.txt")
+        assert collected == list(iter_all_records(fs, "lines.txt"))
 
     def test_split_mid_record_belongs_to_previous(self):
         cl, fs = self._fs_with_lines(2)  # "record-0000\nrecord-0001\n"

@@ -13,6 +13,9 @@ their fingerprints match::
 
     PYTHONPATH=src python tools/bench_wallclock.py
     PYTHONPATH=src python tools/bench_wallclock.py --slowpath   # reference engine
+    PYTHONPATH=src python tools/bench_wallclock.py --scalar     # no block kernels
+    PYTHONPATH=src python tools/bench_wallclock.py \
+        --workloads fig4_mini --compare --max-regression 2.0    # CI bench smoke
 
 The seed baselines below were measured on the pre-optimisation engine
 (O(n) scan, engine-mediated switches, no record-scale sampling in the
@@ -45,8 +48,19 @@ SEED_WALL = {
     "fig4_mini": 0.75,
     "fig4": 218.08,
     "fig6": 268.43,
+    # fig6 through the driver's intra-experiment sharding (series-split
+    # units over a spawn pool); same simulation, so the fig6 seed applies
+    "fig6_intra": 268.43,
     "fig7": 77.93,
 }
+
+
+def _intra_suite(exp_id: str, intra_workers: int):
+    from repro.platform import run_suite
+
+    suite = run_suite([exp_id], intra_workers=intra_workers)
+    return suite.results[exp_id]
+
 
 WORKLOADS = {
     "fig3": lambda: figures.fig3(),
@@ -55,6 +69,7 @@ WORKLOADS = {
                                       logical_size=8 * 10**9),
     "fig4": lambda: figures.fig4(),
     "fig6": lambda: figures.fig6(),
+    "fig6_intra": lambda: _intra_suite("fig6", 3),
     "fig7": lambda: figures.fig7(),
 }
 
@@ -84,6 +99,9 @@ def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--only", choices=sorted(WORKLOADS), action="append",
                     help="benchmark only this workload (repeatable)")
+    ap.add_argument("--workloads", metavar="NAME[,NAME...]",
+                    help="comma-separated workload filter "
+                         f"(choices: {','.join(sorted(WORKLOADS))})")
     def positive_int(v: str) -> int:
         n = int(v)
         if n < 1:
@@ -97,6 +115,21 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--nofuse", action="store_true",
                     help="disable Spark narrow-stage fusion and the "
                          "combining shuffle (REPRO_SPARK_NOFUSE=1)")
+    ap.add_argument("--scalar", action="store_true",
+                    help="disable the columnar record-block kernels "
+                         "(REPRO_SPARK_SCALAR=1)")
+    ap.add_argument("--compare", action="store_true",
+                    help="compare against the committed results instead of "
+                         "writing: report per-workload wall ratio and diff "
+                         "fingerprints (exit 1 on fingerprint mismatch or "
+                         "--max-regression breach)")
+    ap.add_argument("--baseline", type=Path, default=DEFAULT_OUT,
+                    help="baseline JSON for --compare "
+                         f"(default: {DEFAULT_OUT})")
+    ap.add_argument("--max-regression", type=float, default=None,
+                    metavar="X",
+                    help="with --compare: fail if any workload's wall time "
+                         "exceeds X times its baseline")
     ap.add_argument("--out", type=Path, default=DEFAULT_OUT,
                     help=f"output JSON path (default: {DEFAULT_OUT})")
     args = ap.parse_args(argv)
@@ -105,16 +138,33 @@ def main(argv: list[str] | None = None) -> int:
         os.environ["REPRO_SIM_SLOWPATH"] = "1"
     if args.nofuse:
         os.environ["REPRO_SPARK_NOFUSE"] = "1"
-    names = args.only or sorted(WORKLOADS)
+    if args.scalar:
+        os.environ["REPRO_SPARK_SCALAR"] = "1"
+    names = list(args.only or sorted(WORKLOADS))
+    if args.workloads:
+        wanted = [w.strip() for w in args.workloads.split(",") if w.strip()]
+        unknown = [w for w in wanted if w not in WORKLOADS]
+        if unknown:
+            ap.error(f"unknown workload(s) {unknown}; "
+                     f"have {sorted(WORKLOADS)}")
+        names = [n for n in names if n in wanted] if args.only else wanted
+
+    baseline = None
+    if args.compare:
+        try:
+            baseline = json.loads(args.baseline.read_text())
+        except FileNotFoundError:
+            ap.error(f"--compare baseline {args.baseline} not found")
 
     out = {
         "scheduler": "slowpath" if args.slowpath else "fast",
         "data_plane": "nofuse" if args.nofuse else "fused",
+        "record_blocks": "scalar" if args.scalar else "blocks",
         "python": sys.version.split()[0],
         "workloads": {},
     }
     print(f"scheduler: {out['scheduler']}  data plane: {out['data_plane']}"
-          f"  (repeat={args.repeat})")
+          f"  record blocks: {out['record_blocks']}  (repeat={args.repeat})")
     for name in names:
         entry = run_workload(name, repeat=args.repeat)
         out["workloads"][name] = entry
@@ -122,6 +172,32 @@ def main(argv: list[str] | None = None) -> int:
               f"seed {entry['seed_wall_s']:6.2f}s   "
               f"speedup {entry['speedup_vs_seed']:5.2f}x   "
               f"fp {entry['fingerprint']}")
+
+    if args.compare:
+        failures = []
+        print(f"compare vs {args.baseline}:")
+        for name in names:
+            entry = out["workloads"][name]
+            base = baseline.get("workloads", {}).get(name)
+            if base is None:
+                print(f"  {name:10s} not in baseline — skipped")
+                continue
+            ratio = entry["wall_s"] / base["wall_s"] if base["wall_s"] else 0.0
+            fp_ok = entry["fingerprint"] == base["fingerprint"]
+            verdict = "ok" if fp_ok else "FINGERPRINT MISMATCH"
+            if not fp_ok:
+                failures.append(f"{name}: fingerprint {entry['fingerprint']} "
+                                f"!= baseline {base['fingerprint']}")
+            if args.max_regression is not None and \
+                    ratio > args.max_regression:
+                verdict = f"REGRESSION (> {args.max_regression:g}x)"
+                failures.append(f"{name}: wall {entry['wall_s']}s is "
+                                f"{ratio:.2f}x baseline {base['wall_s']}s")
+            print(f"  {name:10s} {entry['wall_s']:8.3f}s vs "
+                  f"{base['wall_s']:8.3f}s  ({ratio:5.2f}x)  {verdict}")
+        for line in failures:
+            print(f"FAIL  {line}", file=sys.stderr)
+        return 1 if failures else 0
 
     args.out.parent.mkdir(parents=True, exist_ok=True)
     args.out.write_text(json.dumps(out, indent=1) + "\n")
