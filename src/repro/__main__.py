@@ -61,6 +61,16 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="write manifests + rendered results here")
     p_run.add_argument("--json", action="store_true",
                        help="print a JSON summary instead of rendered results")
+    p_run.add_argument("--cache-dir", type=Path, default=None, metavar="DIR",
+                       help="artifact cache location (default: .repro-cache, "
+                            "or $REPRO_CACHE_DIR; see docs/caching.md)")
+    p_run.add_argument("--no-cache", action="store_true",
+                       help="disable the artifact cache for this run "
+                            "(bit-identical results, nothing read or written)")
+    p_run.add_argument("--refresh", action="store_true",
+                       help="re-execute every unit, overwriting cached "
+                            "results (datasets are still served from the "
+                            "cache)")
 
     p_list = sub.add_parser("list", help="list registered experiments")
     p_list.add_argument("--json", action="store_true",
@@ -118,17 +128,33 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 print(f"note: {exp_id} does not take fault plans; "
                       "--faults ignored for it", file=sys.stderr)
 
+    if args.no_cache and (args.cache_dir is not None or args.refresh):
+        print("--no-cache conflicts with --cache-dir/--refresh",
+              file=sys.stderr)
+        return 2
+    # the CLI caches by default (unlike programmatic run_suite, which
+    # defers to the environment): False kills it, a dir pins it, True
+    # selects .repro-cache/$REPRO_CACHE_DIR
+    cache: bool | Path = (False if args.no_cache
+                          else args.cache_dir if args.cache_dir is not None
+                          else True)
+
     progress = None if args.json else lambda msg: print(msg, file=sys.stderr)
     suite = run_suite(ids, quick=args.quick, workers=args.workers,
                       intra_workers=args.intra_workers,
                       out_dir=args.out, overrides=overrides or None,
-                      progress=progress)
+                      progress=progress, cache=cache,
+                      refresh_cache=args.refresh)
     if args.json:
         print(json.dumps(suite.manifest(), indent=1))
     else:
         for exp_id in ids:
             print(suite.results[exp_id].render())
             print()
+        if suite.cache is not None:
+            print(f"cache: {suite.cache['hits']} hit(s), "
+                  f"{suite.cache['misses']} miss(es) "
+                  f"({suite.cache['path']})", file=sys.stderr)
         if args.out is not None:
             print(f"wrote manifests to {args.out}", file=sys.stderr)
     return 0
@@ -152,19 +178,33 @@ def _cmd_list(args: argparse.Namespace) -> int:
             except Exception:
                 return {}
 
-        print(json.dumps([
-            {
-                "id": exp.exp_id,
-                "description": exp.description,
-                "shard_param": exp.shard_param,
-                "intra_shard": exp.intra_param is not None,
-                "intra_series": list(exp.intra_series),
-                "quick_params": sorted(exp.quick_params),
-                "faults": supports_faults(exp),
-                "analysis": analysis_block(exp.exp_id),
-            }
-            for exp in registry.values()
-        ], indent=1))
+        def cache_block() -> dict:
+            # mirrors analysis_block: the cache is optional capability
+            # metadata, and a missing or empty store must report zero
+            # entries, never crash the listing
+            try:
+                from repro.cache import store_info
+
+                return store_info()
+            except Exception:
+                return {}
+
+        print(json.dumps({
+            "cache": cache_block(),
+            "experiments": [
+                {
+                    "id": exp.exp_id,
+                    "description": exp.description,
+                    "shard_param": exp.shard_param,
+                    "intra_shard": exp.intra_param is not None,
+                    "intra_series": list(exp.intra_series),
+                    "quick_params": sorted(exp.quick_params),
+                    "faults": supports_faults(exp),
+                    "analysis": analysis_block(exp.exp_id),
+                }
+                for exp in registry.values()
+            ],
+        }, indent=1))
     else:
         for exp in registry.values():
             sharded = f"  [shards on {exp.shard_param}]" if exp.shard_param \
@@ -194,6 +234,12 @@ def _cmd_report(args: argparse.Namespace) -> int:
         for exp_id, entry in experiments.items():
             print(f"  {exp_id:22s} fp {entry['fingerprint']}  "
                   f"{entry['wall_s']:8.2f}s  {entry['units']} unit(s)")
+        cache = manifest.get("cache")
+        if cache:
+            print(f"cache: {cache.get('hits')} hit(s), "
+                  f"{cache.get('misses')} miss(es)"
+                  + (" [refresh]" if cache.get("refresh") else "")
+                  + f"  ({cache.get('path')})")
 
     if args.golden is None:
         return 0

@@ -113,6 +113,8 @@ ENV_REGISTRY: dict[str, str] = {
     "REPRO_SIM_SLOWPATH": "repro/sim/engine.py",
     "REPRO_SPARK_NOFUSE": "repro/spark/rdd.py",
     "REPRO_SPARK_SCALAR": "repro/sim/blocks.py",
+    "REPRO_CACHE_DIR": "repro/cache/store.py",
+    "REPRO_NO_CACHE": "repro/cache/store.py",
 }
 
 # Dotted call names that read the wall clock (R001).

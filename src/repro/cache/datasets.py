@@ -1,0 +1,97 @@
+"""Dataset-plane helpers: keyed content generation + staging resolution.
+
+Workload generators call :func:`keyed_content` instead of returning their
+rendered :class:`~repro.fs.content.LineContent` directly.  When a store is
+active the rendered bytes are published under a key derived from the
+generator name and its spec, and the returned provider is a
+:class:`~repro.fs.content.MappedContent` over the store's read-only map —
+so a sharded run's N spawn workers regenerate the payload at most once
+(first publisher wins; racers write identical bytes) and then share one
+physical copy.  With no active store the builder's provider is returned
+unchanged, byte-identical either way.
+
+:func:`resolve_content` is the staging-side hook: ``Session.stage`` passes
+every declared ``Dataset``'s content through it so content built before
+the store was configured still lands in (and maps out of) the store.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.cache.keys import UncacheableError, cache_key
+from repro.cache.store import active_store
+from repro.fs.content import ContentProvider, MappedContent
+
+__all__ = ["keyed_content", "resolve_content", "dataset_stats"]
+
+#: process-local dataset plane counters, for tests and `repro analyze`
+_stats = {"hits": 0, "misses": 0}
+
+
+def dataset_stats() -> dict[str, int]:
+    """Dataset-plane hit/miss counts for this process (since import)."""
+    return dict(_stats)
+
+
+def keyed_content(name: str, key_parts: object,
+                  build: Callable[[], ContentProvider]) -> ContentProvider:
+    """Build (or map) the content a generator describes.
+
+    ``name`` + ``key_parts`` must determine the payload bytes exactly —
+    they are hashed into the dataset key.  ``build`` renders the payload
+    and is only called on a miss (or when no store is active).  Specs the
+    key encoder rejects fall back to an uncached ``build()``.
+    """
+    try:
+        key = cache_key("dataset", name, key_parts)
+    except UncacheableError:
+        return build()
+    store = active_store()
+    if store is None:
+        # tag with the identity so staging can still resolve it through a
+        # store configured later (resolve_content)
+        content = build()
+        content.cache_meta = {"name": name, "key": key}
+        return content
+    mapped = store.open_dataset(key)
+    if mapped is not None:
+        _stats["hits"] += 1
+        mapped.cache_meta = {"name": name, "key": key}
+        return mapped
+    _stats["misses"] += 1
+    content = build()
+    store.publish_dataset(key, content.read_all(), meta={"name": name})
+    mapped = store.open_dataset(key)
+    if mapped is None:
+        # store root unwritable/unreadable — serve the built content
+        return content
+    mapped.cache_meta = {"name": name, "key": key}
+    return mapped
+
+
+def resolve_content(content: ContentProvider) -> ContentProvider:
+    """Resolve a dataset's content through the store at staging time.
+
+    Content that is already mapped (or that carries no cache identity) is
+    returned as-is; content tagged by :func:`keyed_content` while no store
+    was active gets published and re-opened mapped.  Always byte-identical
+    to the input provider.
+    """
+    if isinstance(content, MappedContent):
+        return content
+    meta = getattr(content, "cache_meta", None)
+    if meta is None:
+        return content
+    store = active_store()
+    if store is None:
+        return content
+    mapped = store.open_dataset(meta["key"])
+    if mapped is None:
+        store.publish_dataset(meta["key"], content.read_all(),
+                              meta={"name": meta["name"]})
+        mapped = store.open_dataset(meta["key"])
+        if mapped is None:
+            return content
+    mapped.cache_meta = dict(meta)
+    return mapped

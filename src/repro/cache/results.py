@@ -1,0 +1,126 @@
+"""Exact serialisation of figure/table results for the result plane.
+
+A cached unit result must replay **byte-identically**: the driver's
+fingerprints hash exact float bits (``float.hex()``), so the codec here
+round-trips every value losslessly and refuses anything it cannot.
+Values are tagged JSON — ``{"t": "f", "v": "0x1.999999999999ap-4"}`` —
+because bare JSON floats go through decimal shortest-repr, which is
+round-trip-exact in CPython but implicit; the tagged form makes the
+exactness (and the int/float/bool/None distinctions the fingerprint
+depends on) structural.
+
+Unsupported value types raise
+:class:`~repro.cache.keys.UncacheableError`; the driver then runs the
+unit uncached.  :func:`try_encode_result` is the tolerant wrapper.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.cache.keys import UncacheableError
+from repro.core.report import FigureResult, Series, TableResult
+
+__all__ = [
+    "encode_result",
+    "try_encode_result",
+    "decode_result",
+]
+
+
+def _encode_value(v: Any) -> Any:
+    if v is None:
+        return {"t": "n"}
+    t = type(v)
+    if t is bool:
+        return {"t": "b", "v": v}
+    if t is int:
+        return {"t": "i", "v": str(v)}
+    if t is float:
+        return {"t": "f", "v": v.hex()}
+    if t is str:
+        return {"t": "s", "v": v}
+    raise UncacheableError(
+        f"result value {v!r} of type {t.__qualname__} has no exact encoding")
+
+
+def _decode_value(d: Any) -> Any:
+    tag = d["t"]
+    if tag == "n":
+        return None
+    if tag == "b":
+        return bool(d["v"])
+    if tag == "i":
+        return int(d["v"])
+    if tag == "f":
+        return float.fromhex(d["v"])
+    if tag == "s":
+        return str(d["v"])
+    raise ValueError(f"unknown value tag {tag!r}")
+
+
+def encode_result(result: FigureResult | TableResult) -> dict:
+    """Encode a result to a JSON-safe payload; exact or refuse."""
+    if isinstance(result, TableResult):
+        for row in result.rows:
+            for cell in row:
+                if type(cell) is not str:
+                    raise UncacheableError(
+                        f"non-string table cell {cell!r} in {result.table_id}")
+        return {
+            "kind": "table",
+            "table_id": result.table_id,
+            "title": result.title,
+            "headers": list(result.headers),
+            "rows": [list(row) for row in result.rows],
+        }
+    if isinstance(result, FigureResult):
+        return {
+            "kind": "figure",
+            "figure_id": result.figure_id,
+            "title": result.title,
+            "xlabel": result.xlabel,
+            "ylabel": result.ylabel,
+            "series": [
+                {
+                    "name": s.name,
+                    "points": [[_encode_value(x), _encode_value(y)]
+                               for x, y in s.points],
+                }
+                for s in result.series
+            ],
+        }
+    raise UncacheableError(f"unknown result type {type(result).__qualname__}")
+
+
+def try_encode_result(result: Any) -> dict | None:
+    """Encode, or ``None`` if the result holds unsupported values."""
+    try:
+        return encode_result(result)
+    except UncacheableError:
+        return None
+
+
+def decode_result(payload: dict) -> FigureResult | TableResult:
+    """Rebuild the result object a stored payload encodes.
+
+    Raises ``KeyError``/``ValueError``/``TypeError`` on malformed
+    payloads — callers treat any decode failure as a cache miss.
+    """
+    kind = payload["kind"]
+    if kind == "table":
+        return TableResult(
+            payload["table_id"], payload["title"],
+            [str(h) for h in payload["headers"]],
+            [[str(c) for c in row] for row in payload["rows"]])
+    if kind == "figure":
+        return FigureResult(
+            payload["figure_id"], payload["title"],
+            payload["xlabel"], payload["ylabel"],
+            series=[
+                Series(s["name"],
+                       [(_decode_value(x), _decode_value(y))
+                        for x, y in s["points"]])
+                for s in payload["series"]
+            ])
+    raise ValueError(f"unknown result kind {kind!r}")

@@ -1,0 +1,316 @@
+"""The on-disk artifact store: two planes, atomic publish, verify-on-open.
+
+Layout (default ``.repro-cache/``, see :func:`default_root`)::
+
+    .repro-cache/
+      datasets/<key>.bin    # generated payload bytes (opened via mmap)
+      datasets/<key>.json   # {"format", "sha256", "size", "meta"}
+      results/<key>.json    # {"format", "sha256", "meta", "payload"}
+
+Publishing is atomic: entries are written to a ``*.tmp-<pid>`` sibling and
+``os.replace``d into place, so a crashed writer leaves at most a stray tmp
+file (ignored by readers and by entry counts) and concurrent writers of
+the same key converge on identical content — keys are derived from the
+inputs, so two racing publishers write the same bytes.
+
+Nothing read from the store is ever trusted: :meth:`ArtifactStore.open_dataset`
+and :meth:`ArtifactStore.load_result` re-hash the payload against the
+recorded SHA-256 and treat any mismatch — or a format-version mismatch —
+as a miss, dropping the entry so the caller regenerates it.
+
+This module is the registered home of the cache environment hatches
+(``repro.analysis.lint`` R006): ``REPRO_CACHE_DIR`` relocates the default
+store and ``REPRO_NO_CACHE=1`` disables caching globally.  No other
+module reads them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import mmap
+import os
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.cache.keys import FORMAT_VERSION
+from repro.fs.content import MappedContent
+
+__all__ = [
+    "PLANES",
+    "ArtifactStore",
+    "default_root",
+    "env_root",
+    "resolve_root",
+    "configure",
+    "active_store",
+    "store_info",
+    "register_invalidation",
+]
+
+#: the two planes of the store
+PLANES = ("datasets", "results")
+
+
+def _canonical(payload: dict) -> bytes:
+    """Canonical JSON bytes of a result payload (the checksummed form)."""
+    return json.dumps(payload, sort_keys=True,
+                      separators=(",", ":")).encode()
+
+
+class ArtifactStore:
+    """One content-addressed store rooted at a directory.
+
+    Construction is cheap and creates nothing; directories appear on the
+    first publish.  All methods tolerate a missing or empty store.
+    """
+
+    def __init__(self, root: Path | str) -> None:
+        self.root = Path(root)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ArtifactStore({str(self.root)!r})"
+
+    # -- shared plumbing ---------------------------------------------------
+
+    def _entry(self, plane: str, key: str) -> Path:
+        return self.root / plane / f"{key}.json"
+
+    def _payload(self, key: str) -> Path:
+        return self.root / "datasets" / f"{key}.bin"
+
+    def _atomic_write(self, path: Path, data: bytes) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+        tmp.write_bytes(data)
+        os.replace(tmp, path)
+
+    def _load_sidecar(self, path: Path) -> dict | None:
+        try:
+            raw = path.read_text()
+        except OSError:
+            return None
+        try:
+            entry = json.loads(raw)
+        except ValueError:
+            return {}  # unparseable = corrupt; caller drops it
+        return entry if isinstance(entry, dict) else {}
+
+    def drop(self, plane: str, key: str) -> None:
+        """Remove one entry (both files for datasets); missing is fine."""
+        paths = [self._entry(plane, key)]
+        if plane == "datasets":
+            paths.append(self._payload(key))
+        for path in paths:
+            try:
+                path.unlink()
+            except OSError:
+                pass  # reprolint: disable=swallowed-error
+
+    def entry_count(self, plane: str) -> int:
+        """Committed entries in a plane (tmp leftovers excluded)."""
+        plane_dir = self.root / plane
+        try:
+            names = sorted(os.listdir(plane_dir))
+        except OSError:
+            return 0
+        return sum(1 for n in names
+                   if n.endswith(".json") and ".tmp-" not in n)
+
+    def info(self) -> dict[str, Any]:
+        """Store path + per-plane entry counts (never raises)."""
+        return {
+            "path": str(self.root),
+            "planes": {plane: self.entry_count(plane) for plane in PLANES},
+        }
+
+    # -- dataset plane -----------------------------------------------------
+
+    def publish_dataset(self, key: str, data: bytes,
+                        meta: dict | None = None) -> None:
+        """Atomically publish a generated payload under ``key``.
+
+        The ``.bin`` payload lands before its ``.json`` sidecar; readers
+        require the sidecar, so a crash between the two leaves an
+        invisible (and harmless) payload file, never a half-entry.
+        """
+        data = bytes(data)
+        self._atomic_write(self._payload(key), data)
+        sidecar = {
+            "format": FORMAT_VERSION,
+            "sha256": hashlib.sha256(data).hexdigest(),
+            "size": len(data),
+            "meta": meta or {},
+        }
+        self._atomic_write(self._entry("datasets", key),
+                           json.dumps(sidecar, indent=1).encode() + b"\n")
+
+    def open_dataset(self, key: str) -> MappedContent | None:
+        """Open a published payload read-only via ``mmap``, or ``None``.
+
+        The payload is re-hashed against the sidecar's SHA-256 on every
+        open; a corrupted, truncated or version-mismatched entry is
+        dropped and reported as a miss — never served.  The returned
+        :class:`~repro.fs.content.MappedContent` wraps a read-only map,
+        so N worker processes opening the same key share one set of
+        physical pages through the OS page cache.
+        """
+        sidecar = self._load_sidecar(self._entry("datasets", key))
+        if sidecar is None:
+            return None
+        if sidecar.get("format") != FORMAT_VERSION:
+            self.drop("datasets", key)
+            return None
+        try:
+            f = open(self._payload(key), "rb")
+        except OSError:
+            self.drop("datasets", key)
+            return None
+        with f:
+            size = os.fstat(f.fileno()).st_size
+            if size == 0:
+                mapped: Any = b""
+            else:
+                mapped = mmap.mmap(f.fileno(), 0, access=mmap.ACCESS_READ)
+        if (sidecar.get("size") != size
+                or hashlib.sha256(mapped).hexdigest() != sidecar.get("sha256")):
+            if size:
+                mapped.close()
+            self.drop("datasets", key)
+            return None
+        return MappedContent(mapped)
+
+    # -- result plane ------------------------------------------------------
+
+    def store_result(self, key: str, payload: dict,
+                     meta: dict | None = None) -> None:
+        """Atomically store an encoded unit result under ``key``."""
+        entry = {
+            "format": FORMAT_VERSION,
+            "sha256": hashlib.sha256(_canonical(payload)).hexdigest(),
+            "meta": meta or {},
+            "payload": payload,
+        }
+        self._atomic_write(self._entry("results", key),
+                           json.dumps(entry, indent=1).encode() + b"\n")
+
+    def load_result(self, key: str) -> dict | None:
+        """Load a stored result entry, or ``None`` on miss/corruption.
+
+        Returns the full entry (``payload`` + ``meta``) only when the
+        payload re-hashes to the recorded checksum under the current
+        format version; anything else is dropped and missed.
+        """
+        entry = self._load_sidecar(self._entry("results", key))
+        if entry is None:
+            return None
+        payload = entry.get("payload")
+        if (entry.get("format") != FORMAT_VERSION
+                or not isinstance(payload, dict)
+                or hashlib.sha256(_canonical(payload)).hexdigest()
+                != entry.get("sha256")):
+            self.drop("results", key)
+            return None
+        return entry
+
+
+# ---------------------------------------------------------------------------
+# process-wide active store
+# ---------------------------------------------------------------------------
+
+_active: ArtifactStore | None = None
+_initialized = False
+_invalidation_hooks: list[Callable[[], None]] = []
+
+
+def env_root() -> Path | None:
+    """Store root the environment requests, or ``None`` (no implicit default).
+
+    ``REPRO_NO_CACHE=1`` wins over everything; otherwise ``REPRO_CACHE_DIR``
+    names the root.  An unset environment yields ``None`` — library and
+    test code never caches unless asked to.
+    """
+    if os.environ.get("REPRO_NO_CACHE", "") == "1":
+        return None
+    env = os.environ.get("REPRO_CACHE_DIR", "")
+    return Path(env) if env else None
+
+
+def default_root() -> Path | None:
+    """The CLI's default store root: env override, else ``.repro-cache``.
+
+    ``None`` only when ``REPRO_NO_CACHE=1`` — the global kill switch.
+    """
+    if os.environ.get("REPRO_NO_CACHE", "") == "1":
+        return None
+    env = os.environ.get("REPRO_CACHE_DIR", "")
+    return Path(env) if env else Path(".repro-cache")
+
+
+def resolve_root(cache: bool | str | Path | None) -> Path | None:
+    """Map a caller's ``cache`` argument to a store root, or ``None``.
+
+    ``None`` defers to the environment (:func:`env_root` — off unless
+    ``REPRO_CACHE_DIR`` is set), ``False`` disables caching, ``True``
+    selects the default root, and a path selects that root.  The
+    ``REPRO_NO_CACHE=1`` kill switch beats everything, including an
+    explicit path.
+    """
+    if cache is None:
+        return env_root()
+    if cache is False:
+        return None
+    if os.environ.get("REPRO_NO_CACHE", "") == "1":
+        return None
+    if cache is True:
+        return default_root()
+    return Path(cache)
+
+
+def register_invalidation(hook: Callable[[], None]) -> None:
+    """Register a callback run whenever the active store changes.
+
+    The workload generators memoise rendered content per process
+    (``lru_cache``); re-pointing the store must flush those memos so the
+    next call resolves through (or away from) the new store.
+    """
+    _invalidation_hooks.append(hook)
+
+
+def configure(root: Path | str | None) -> ArtifactStore | None:
+    """Set (or, with ``None``, clear) the process-wide active store."""
+    global _active, _initialized
+    _initialized = True
+    new = None if root is None else ArtifactStore(root)
+    if (new is None) != (_active is None) or (
+            new is not None and _active is not None
+            and new.root != _active.root):
+        for hook in _invalidation_hooks:
+            hook()
+    _active = new
+    return _active
+
+
+def active_store() -> ArtifactStore | None:
+    """The process-wide store; first use initialises from the environment."""
+    global _initialized
+    if not _initialized:
+        configure(env_root())
+    return _active
+
+
+def store_info() -> dict[str, Any]:
+    """Capability block for ``repro list --json`` (never raises).
+
+    Reports the *effective* store: the active one if configured, else the
+    location a default ``repro run`` would use.  A missing or empty store
+    directory reports zero entries, not an error.
+    """
+    store = active_store()
+    if store is None:
+        root = default_root()
+        if root is None:
+            return {"enabled": False, "path": None,
+                    "planes": {plane: 0 for plane in PLANES}}
+        store = ArtifactStore(root)
+    return {"enabled": True, **store.info()}

@@ -144,6 +144,60 @@ class LineContent(ContentProvider):
             yield from self._chunk(ci).decode().splitlines()
 
 
+class MappedContent(ContentProvider):
+    """Content over a read-only buffer — typically an ``mmap`` of a cache
+    entry, so every process mapping the same artifact shares one set of
+    physical pages through the OS page cache.
+
+    Accepts any object with ``len``, slicing and ``find`` (``mmap.mmap``,
+    ``bytes``, ``memoryview``).  :meth:`view` exposes the buffer zero-copy
+    for the columnar record-block readers in :mod:`repro.sim.blocks`.
+    """
+
+    def __init__(self, buf) -> None:
+        self._buf = buf
+
+    @property
+    def buffer(self):
+        """The underlying buffer object (zero-copy access)."""
+        return self._buf
+
+    @property
+    def size(self) -> int:
+        return len(self._buf)
+
+    def read(self, offset: int, length: int) -> bytes:
+        if offset < 0 or length < 0:
+            raise ValueError(f"invalid range: offset={offset} length={length}")
+        return bytes(self._buf[offset : offset + length])
+
+    def read_all(self) -> bytes:
+        return bytes(self._buf)
+
+    def view(self) -> memoryview:
+        """Zero-copy view of the whole payload."""
+        return memoryview(self._buf)
+
+    def lines(self) -> Iterator[str]:
+        """Iterate newline-delimited records (host-side convenience)."""
+        buf = self._buf
+        n = len(buf)
+        start = 0
+        while start < n:
+            nl = buf.find(b"\n", start)
+            if nl < 0:
+                yield bytes(buf[start:n]).decode()
+                return
+            yield bytes(buf[start:nl]).decode()
+            start = nl + 1
+
+    def close(self) -> None:
+        """Release the underlying map (no-op for plain byte buffers)."""
+        closer = getattr(self._buf, "close", None)
+        if closer is not None:
+            closer()
+
+
 def split_records(chunk: bytes, *, first: bool) -> list[bytes]:
     """Record-boundary handling for a chunk of a newline-delimited file.
 

@@ -20,6 +20,7 @@ failures are part of the provisioned platform like any other knob.
 """
 
 from repro.platform.driver import (
+    CachePlan,
     SuiteResult,
     Unit,
     UnitResult,
@@ -29,6 +30,7 @@ from repro.platform.driver import (
     plan_units,
     read_manifest,
     run_suite,
+    unit_cache_key,
     write_manifests,
 )
 from repro.platform.scenario import (
@@ -56,6 +58,8 @@ __all__ = [
     "Unit",
     "UnitResult",
     "SuiteResult",
+    "CachePlan",
+    "unit_cache_key",
     "write_manifests",
     "read_manifest",
     "check_golden",

@@ -204,14 +204,80 @@ def merge_results(
 # ---------------------------------------------------------------------------
 
 
+@dataclass(frozen=True)
+class CachePlan:
+    """Result-plane caching instructions shipped to every worker.
+
+    Pinning ``code_version`` at plan time (rather than computing it in
+    each worker) keeps one run internally consistent even if sources are
+    edited while it executes.  ``refresh`` forces unit re-execution while
+    still overwriting (and thus repairing) stored result entries; the
+    dataset plane stays active either way.
+    """
+
+    root: str
+    code_version: str
+    refresh: bool = False
+    #: execution-variant fingerprint: the differential escape hatches
+    #: active when the plan was built (see :func:`execution_variant`).
+    #: Hatched runs produce byte-identical *results*, but keying them
+    #: separately keeps differential CI runs honest — a scalar-plane run
+    #: never silently replays a block-plane entry.
+    variant: tuple = ()
+
+
+def execution_variant() -> tuple:
+    """The active differential escape hatches, via their home modules.
+
+    Reads each hatch through its owner's resolved accessor (the R006
+    discipline) rather than the environment, so this stays in lockstep
+    with what the engine/data plane would actually do.
+    """
+    from repro.sim.blocks import blocks_enabled
+    from repro.sim.engine import slowpath_enabled
+    from repro.spark.rdd import fusion_enabled
+
+    return tuple(name for name, active in (
+        ("slowpath", slowpath_enabled()),
+        ("nofuse", not fusion_enabled()),
+        ("scalar", not blocks_enabled()),
+    ) if active)
+
+
+def unit_cache_key(plan: CachePlan, unit: Unit) -> str | None:
+    """Result-plane key of a unit, or ``None`` if its params defy encoding.
+
+    Keyed on (code version, execution variant, experiment id, fully
+    resolved params) — the unit's ``index``/``total``/``point``/``series``
+    are derived from the params and the registry, so they carry no extra
+    information.  The scenario a unit provisions is itself a pure function
+    of experiment id + params, which is how the key covers the scenario
+    fingerprint.
+    """
+    from repro.cache import UncacheableError, cache_key
+
+    try:
+        return cache_key("unit-result", plan.code_version, plan.variant,
+                         unit.exp_id, unit.params)
+    except UncacheableError:
+        return None
+
+
 @dataclass
 class UnitResult:
     unit: Unit
     result: FigureResult | TableResult
     wall_s: float
+    #: True when the result was replayed from the artifact cache
+    cached: bool = False
+    #: result-plane key, when a cache was active and the unit was keyable
+    cache_key: str | None = None
+    #: execution wall seconds recorded by the run that produced a replayed
+    #: entry (``None`` for uncached / freshly executed units)
+    stored_wall_s: float | None = None
 
     def manifest(self, *, quick: bool) -> dict[str, Any]:
-        return {
+        manifest = {
             "exp_id": self.unit.exp_id,
             "unit": self.unit.index,
             "total_units": self.unit.total,
@@ -221,7 +287,12 @@ class UnitResult:
             "params": {k: repr(v) for k, v in sorted(self.unit.params.items())},
             "wall_s": round(self.wall_s, 3),
             "fingerprint": fingerprint_result(self.result),
+            "cached": self.cached,
+            "cache_key": self.cache_key,
         }
+        if self.stored_wall_s is not None:
+            manifest["stored_wall_s"] = self.stored_wall_s
+        return manifest
 
 
 @dataclass
@@ -233,6 +304,9 @@ class SuiteResult:
     workers: int
     quick: bool
     intra_workers: int = 1
+    #: artifact-cache provenance: ``None`` when caching was disabled, else
+    #: ``{"path", "refresh", "hits", "misses"}`` (result-plane counts)
+    cache: dict[str, Any] | None = None
 
     def fingerprints(self) -> dict[str, str]:
         return {exp_id: fingerprint_result(res)
@@ -243,6 +317,7 @@ class SuiteResult:
             "workers": self.workers,
             "intra_workers": self.intra_workers,
             "quick": self.quick,
+            "cache": self.cache,
             "python": sys.version.split()[0],
             "experiments": {
                 exp_id: {
@@ -257,13 +332,52 @@ class SuiteResult:
         }
 
 
-def _run_unit(unit: Unit) -> UnitResult:
-    """Worker entry point: run one unit (also used in-process)."""
+def _run_unit(unit: Unit, plan: CachePlan | None = None) -> UnitResult:
+    """Worker entry point: run one unit (also used in-process).
+
+    With a :class:`CachePlan`, the plan's store is made this process's
+    active store (spawn workers start without one), the result plane is
+    consulted before executing, and a fresh execution's result is encoded
+    back into the store.  A stored entry that fails checksum or decode is
+    dropped and the unit re-executes — corrupt entries are never served.
+    """
     from repro.core.experiment import run_experiment
 
     t0 = time.perf_counter()
+    store = key = None
+    if plan is not None:
+        from repro import cache as artifact_cache
+
+        store = artifact_cache.configure(plan.root)
+        key = unit_cache_key(plan, unit)
+    if store is not None and key is not None and not plan.refresh:
+        entry = store.load_result(key)
+        if entry is not None:
+            from repro.cache import decode_result
+
+            try:
+                result = decode_result(entry["payload"])
+            except (KeyError, ValueError, TypeError):
+                store.drop("results", key)
+            else:
+                meta = entry.get("meta") or {}
+                return UnitResult(unit, result, time.perf_counter() - t0,
+                                  cached=True, cache_key=key,
+                                  stored_wall_s=meta.get("wall_s"))
     result = run_experiment(unit.exp_id, **unit.params)
-    return UnitResult(unit, result, time.perf_counter() - t0)
+    wall_s = time.perf_counter() - t0
+    if store is not None and key is not None:
+        from repro.cache import try_encode_result
+
+        payload = try_encode_result(result)
+        if payload is not None:
+            store.store_result(key, payload, meta={
+                "exp_id": unit.exp_id,
+                "unit_key": unit.key,
+                "wall_s": round(wall_s, 3),
+                "fingerprint": fingerprint_result(result),
+            })
+    return UnitResult(unit, result, wall_s, cache_key=key)
 
 
 def run_suite(
@@ -275,6 +389,8 @@ def run_suite(
     out_dir: Path | str | None = None,
     overrides: dict[str, dict[str, Any]] | None = None,
     progress: Callable[[str], None] | None = None,
+    cache: bool | str | Path | None = None,
+    refresh_cache: bool = False,
 ) -> SuiteResult:
     """Run a set of experiments, sharded across ``workers`` subprocesses.
 
@@ -294,7 +410,19 @@ def run_suite(
     top of quick params); ``out_dir`` enables manifests: one JSON per unit
     under ``units/``, a rendered ``<exp_id>.txt`` per experiment, and the
     merged ``manifest.json``.
+
+    ``cache`` selects the artifact store: ``None`` (default) defers to the
+    environment — off unless ``REPRO_CACHE_DIR`` is set — so programmatic
+    and test runs are unaffected; ``True`` uses the default
+    ``.repro-cache/`` (what the CLI passes), ``False`` disables caching,
+    and a path uses that store.  ``refresh_cache=True`` re-executes every
+    unit and overwrites its result entry (datasets are still served from
+    the store).  Caching never changes results: a replayed unit's decoded
+    result is the byte-exact result the producing run computed, so
+    fingerprints are identical across cold, warm and uncached runs.
     """
+    from repro.cache import active_store, code_version, configure, resolve_root
+
     say = progress or (lambda _msg: None)
     units: list[Unit] = []
     for exp_id in exp_ids:
@@ -302,25 +430,42 @@ def run_suite(
                                 overrides=(overrides or {}).get(exp_id),
                                 intra=intra_workers > 1))
     pool_size = max(workers, intra_workers)
+
+    cache_root = resolve_root(cache)
+    plan = (CachePlan(str(cache_root), code_version(), refresh_cache,
+                      execution_variant())
+            if cache_root is not None else None)
     say(f"planned {len(units)} units over {len(exp_ids)} experiments "
         f"({workers} workers"
         + (f", {intra_workers} intra-workers" if intra_workers > 1 else "")
+        + (f", cache {plan.root}" if plan is not None else "")
         + ")")
 
     done: dict[str, UnitResult] = {}
     if pool_size <= 1:
-        for unit in units:
-            done[unit.key] = _run_unit(unit)
-            say(f"  {unit.key}: {done[unit.key].wall_s:.2f}s")
+        # _run_unit re-points the process-wide store at the plan's root;
+        # remember the caller's store so an in-process run is hermetic
+        prior = active_store() if plan is not None else None
+        try:
+            for unit in units:
+                done[unit.key] = _run_unit(unit, plan)
+                ur = done[unit.key]
+                say(f"  {unit.key}: {ur.wall_s:.2f}s"
+                    + (" (cached)" if ur.cached else ""))
+        finally:
+            if plan is not None:
+                configure(prior.root if prior is not None else None)
     else:
         ctx = multiprocessing.get_context("spawn")
         with concurrent.futures.ProcessPoolExecutor(
                 max_workers=pool_size, mp_context=ctx) as pool:
-            futures = {pool.submit(_run_unit, unit): unit for unit in units}
+            futures = {pool.submit(_run_unit, unit, plan): unit
+                       for unit in units}
             for fut in concurrent.futures.as_completed(futures):
                 ur = fut.result()  # re-raises worker failures verbatim
                 done[ur.unit.key] = ur
-                say(f"  {ur.unit.key}: {ur.wall_s:.2f}s")
+                say(f"  {ur.unit.key}: {ur.wall_s:.2f}s"
+                    + (" (cached)" if ur.cached else ""))
 
     unit_results: dict[str, list[UnitResult]] = {}
     results: dict[str, FigureResult | TableResult] = {}
@@ -328,9 +473,18 @@ def run_suite(
         parts = [done[u.key] for u in units if u.exp_id == exp_id]
         unit_results[exp_id] = parts
         results[exp_id] = merge_results([p.result for p in parts])
+    cache_block = None
+    if plan is not None:
+        hits = sum(1 for ur in done.values() if ur.cached)
+        cache_block = {
+            "path": plan.root,
+            "refresh": plan.refresh,
+            "hits": hits,
+            "misses": len(done) - hits,
+        }
     suite = SuiteResult(results=results, unit_results=unit_results,
                         workers=workers, quick=quick,
-                        intra_workers=intra_workers)
+                        intra_workers=intra_workers, cache=cache_block)
     if out_dir is not None:
         write_manifests(suite, Path(out_dir))
     return suite

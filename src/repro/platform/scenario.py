@@ -203,13 +203,23 @@ class Session:
                 f"no filesystem {scheme!r} mounted in this session") from None
 
     def stage(self, ds: Dataset) -> None:
-        """Install one dataset on the filesystems it names."""
+        """Install one dataset on the filesystems it names.
+
+        Content carrying a cache identity (built via
+        :func:`repro.cache.keyed_content`) is resolved through the active
+        artifact store first, so staged payloads are served from a
+        read-only ``mmap`` shared across worker processes.  Resolution is
+        byte-preserving — the staged file is identical either way.
+        """
+        from repro.cache import resolve_content
+
+        content = resolve_content(ds.content)
         for scheme in ds.on:
             fs = self.fs(scheme)
             if scheme == "local":
-                fs.create_replicated(ds.path, ds.content, scale=ds.scale)
+                fs.create_replicated(ds.path, content, scale=ds.scale)
             else:
-                fs.create(ds.path, ds.content, scale=ds.scale)
+                fs.create(ds.path, content, scale=ds.scale)
 
     # -- framework runtime handles ---------------------------------------------
 

@@ -82,11 +82,16 @@ class RecordBlock(Sequence):
     dropped.  ``len`` is O(1) amortized (one ``bytes.count``); slicing
     returns a view sharing the buffer; full iteration materializes the
     line list once (a single C-level ``split``) and caches it.
+
+    The buffer may also be any read-only buffer-protocol object —
+    ``mmap.mmap`` of an artifact-cache dataset entry, or a
+    ``memoryview`` — in which case offsets index straight into the
+    shared map and only the records actually touched are copied out.
     """
 
     __slots__ = ("_buf", "_starts", "_ends", "_lines")
 
-    def __init__(self, buf: bytes,
+    def __init__(self, buf,
                  _starts: np.ndarray | None = None,
                  _ends: np.ndarray | None = None) -> None:
         self._buf = buf
@@ -100,6 +105,15 @@ class RecordBlock(Sequence):
     def buffer(self) -> bytes:
         return self._buf
 
+    def _slice(self, s: int, e: int) -> bytes:
+        """One record copied out of the buffer as ``bytes``.
+
+        ``bytes`` and ``mmap`` slice to ``bytes`` already; ``memoryview``
+        needs the explicit conversion.
+        """
+        chunk = self._buf[s:e]
+        return chunk if type(chunk) is bytes else bytes(chunk)
+
     def _offsets(self) -> tuple[np.ndarray, np.ndarray]:
         """Line [start, end) offsets into the buffer (computed lazily)."""
         if self._starts is None:
@@ -111,7 +125,9 @@ class RecordBlock(Sequence):
             ends = np.empty_like(starts)
             ends[:-1] = nl
             ends[-1] = len(buf)
-            if len(buf) == 0 or buf.endswith(b"\n"):
+            # buffer-protocol-safe trailing-newline check (no .endswith on
+            # mmap/memoryview; indexing yields an int byte everywhere)
+            if len(buf) == 0 or buf[-1] == 0x0A:
                 starts = starts[:-1]
                 ends = ends[:-1]
             self._starts, self._ends = starts, ends
@@ -125,6 +141,8 @@ class RecordBlock(Sequence):
         if self._starts is not None:
             return len(self._starts)
         buf = self._buf
+        if type(buf) is not bytes:
+            return len(self._offsets()[0])
         n = buf.count(b"\n")
         if buf and not buf.endswith(b"\n"):
             n += 1
@@ -142,19 +160,19 @@ class RecordBlock(Sequence):
         starts, ends = self._offsets()
         if i < 0:
             i += len(starts)
-        return self._buf[starts[i]:ends[i]]
+        return self._slice(starts[i], ends[i])
 
     def _materialize(self) -> list[bytes]:
         if self._lines is None:
-            if self._starts is None:
+            if self._starts is None and type(self._buf) is bytes:
                 lines = self._buf.split(b"\n")
                 if lines and lines[-1] == b"":
                     lines.pop()
                 self._lines = lines
             else:
-                buf = self._buf
-                self._lines = [buf[s:e] for s, e in
-                               zip(self._starts.tolist(), self._ends.tolist())]
+                starts, ends = self._offsets()
+                self._lines = [self._slice(s, e) for s, e in
+                               zip(starts.tolist(), ends.tolist())]
         return self._lines
 
     def __iter__(self) -> Iterator[bytes]:
@@ -186,7 +204,9 @@ class RecordBlock(Sequence):
         if self._starts is not None and self._lines is None:
             # A sliced view: decode only the covered records.
             return [r.decode(encoding, errors) for r in self._materialize()]
-        text = self._buf.decode(encoding, errors)
+        # str(buf, ...) decodes any buffer-protocol object (bytes, mmap,
+        # memoryview) in one C call
+        text = str(self._buf, encoding, errors)
         out = text.split("\n")
         if out and out[-1] == "":
             out.pop()

@@ -71,6 +71,16 @@ from repro.sim.trace import Trace
 _current: threading.local = threading.local()
 
 
+def slowpath_enabled() -> bool:
+    """Resolved ``REPRO_SIM_SLOWPATH`` hatch (this module is its home).
+
+    Other layers (e.g. the artifact cache's execution-variant key) import
+    this instead of re-reading the environment, so every site agrees on
+    which scheduler a process runs.
+    """
+    return os.environ.get("REPRO_SIM_SLOWPATH") == "1"
+
+
 def current_process() -> SimProcess:
     """Return the :class:`SimProcess` executing on the calling thread.
 
@@ -125,7 +135,7 @@ class Engine:
         #: RUNNABLE (see :meth:`_push`).
         self._heap: list[tuple[float, int, int, SimProcess]] = []
         if slowpath is None:
-            slowpath = os.environ.get("REPRO_SIM_SLOWPATH") == "1"
+            slowpath = slowpath_enabled()
         #: True when the switch-free fast path (token retention + direct
         #: handoff) is active; False forces the reference scheduler.
         self._fast = not slowpath

@@ -1,0 +1,15 @@
+"""Suite-wide fixtures.
+
+The artifact cache (``repro.cache``) is disabled for every test via its
+``REPRO_NO_CACHE`` kill switch: the CLI caches by default, and a test run
+must never read results from — or leak entries into — a developer's
+``.repro-cache/``.  Cache tests (``tests/test_cache.py``) opt back in by
+deleting the variable and pointing an explicit store at ``tmp_path``.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _no_artifact_cache(monkeypatch):
+    monkeypatch.setenv("REPRO_NO_CACHE", "1")

@@ -187,10 +187,15 @@ class TestCLI:
 
     def test_list_json_machine_readable(self, capsys):
         assert cli(["list", "--json"]) == 0
-        entries = json.loads(capsys.readouterr().out)
-        by_id = {e["id"]: e for e in entries}
+        listing = json.loads(capsys.readouterr().out)
+        by_id = {e["id"]: e for e in listing["experiments"]}
         assert by_id["fig4"]["shard_param"] == "proc_counts"
         assert by_id["table1"]["shard_param"] is None
+        # the cache capability block reports a store (even when absent or
+        # empty) without crashing the listing
+        cache = listing["cache"]
+        assert set(cache["planes"]) == {"datasets", "results"}
+        assert all(n >= 0 for n in cache["planes"].values())
 
     def test_old_style_invocation_still_runs(self, capsys):
         assert cli(["table1"]) == 0

@@ -52,7 +52,94 @@ SEED_WALL = {
     # units over a spawn pool); same simulation, so the fig6 seed applies
     "fig6_intra": 268.43,
     "fig7": 77.93,
+    # fig4_mini through the driver with a cold artifact cache; before the
+    # cache existed every rerun paid this full cost, so the fig4_mini seed
+    # applies to the cold leg
+    "cold_vs_warm": 0.75,
 }
+
+
+def host_metadata() -> dict:
+    """CPU model, core count and RAM of the benchmarking host.
+
+    Best-effort from ``/proc``; fields are ``None`` where the platform
+    does not expose them.  Recorded so committed baselines carry the
+    hardware they were measured on.
+    """
+    meta: dict = {"python": sys.version.split()[0],
+                  "cores": os.cpu_count(), "cpu_model": None,
+                  "ram_bytes": None}
+    try:
+        for line in Path("/proc/cpuinfo").read_text().splitlines():
+            if line.lower().startswith("model name"):
+                meta["cpu_model"] = line.split(":", 1)[1].strip()
+                break
+    except OSError:
+        pass
+    try:
+        for line in Path("/proc/meminfo").read_text().splitlines():
+            if line.startswith("MemTotal:"):
+                meta["ram_bytes"] = int(line.split()[1]) * 1024
+                break
+    except OSError:
+        pass
+    return meta
+
+
+def _cold_vs_warm(repeat: int) -> dict:
+    """Cold-vs-warm artifact-cache differential on a mini Fig 4.
+
+    Runs fig4_mini through the driver twice against a throwaway store:
+    the cold leg executes and populates both cache planes, the warm leg
+    must replay every unit.  Fails hard if the warm run misses, diverges,
+    or is not at least 2x faster — the cache's headline claim.
+
+    ``wall_s`` reports the *cold* leg (stable, comparable across runs);
+    the warm leg is milliseconds and its wall-time ratio would be noise.
+    """
+    import tempfile
+
+    from repro.platform import run_suite
+
+    overrides = {"fig4": {"proc_counts": (8, 16),
+                          "logical_size": 8 * 10**9}}
+    colds, warms = [], []
+    result = None
+    for _ in range(repeat):
+        with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as root:
+            t0 = time.perf_counter()
+            cold = run_suite(["fig4"], overrides=overrides, cache=root)
+            t1 = time.perf_counter()
+            warm = run_suite(["fig4"], overrides=overrides, cache=root)
+            t2 = time.perf_counter()
+            if cold.cache is None:
+                raise SystemExit("cold_vs_warm: caching disabled "
+                                 "(REPRO_NO_CACHE set?)")
+            if warm.cache["hits"] != 2 or warm.cache["misses"]:
+                raise SystemExit(f"cold_vs_warm: warm run missed the cache "
+                                 f"({warm.cache})")
+            if warm.fingerprints() != cold.fingerprints():
+                raise SystemExit("cold_vs_warm: warm fingerprints diverged "
+                                 "from cold")
+            colds.append(t1 - t0)
+            warms.append(t2 - t1)
+            result = warm.results["fig4"]
+    cold_wall, warm_wall = min(colds), min(warms)
+    speedup = cold_wall / max(warm_wall, 1e-9)
+    if speedup < 2.0:
+        raise SystemExit(f"cold_vs_warm: warm run only {speedup:.2f}x faster "
+                         f"than cold (cold {cold_wall:.3f}s, "
+                         f"warm {warm_wall:.3f}s); expected >= 2x")
+    return {
+        "wall_s": round(cold_wall, 3),
+        "walls_s": [round(w, 3) for w in colds],
+        "cold_wall_s": round(cold_wall, 3),
+        "warm_wall_s": round(warm_wall, 3),
+        "warm_speedup": round(speedup, 1),
+        "seed_wall_s": SEED_WALL["cold_vs_warm"],
+        "speedup_vs_seed": round(SEED_WALL["cold_vs_warm"] / cold_wall, 2),
+        "fingerprint": fingerprint(result),
+    }
 
 
 def _intra_suite(exp_id: str, intra_workers: int):
@@ -71,6 +158,8 @@ WORKLOADS = {
     "fig6": lambda: figures.fig6(),
     "fig6_intra": lambda: _intra_suite("fig6", 3),
     "fig7": lambda: figures.fig7(),
+    # special-cased in run_workload: times two legs, not one callable
+    "cold_vs_warm": None,
 }
 
 DEFAULT_OUT = REPO_ROOT / "benchmarks" / "results" / "BENCH_sim.json"
@@ -78,6 +167,8 @@ DEFAULT_OUT = REPO_ROOT / "benchmarks" / "results" / "BENCH_sim.json"
 
 def run_workload(name: str, *, repeat: int = 1) -> dict:
     """Run one workload ``repeat`` times; report the best wall time."""
+    if name == "cold_vs_warm":
+        return _cold_vs_warm(repeat)
     fn = WORKLOADS[name]
     walls = []
     result = None
@@ -161,10 +252,16 @@ def main(argv: list[str] | None = None) -> int:
         "data_plane": "nofuse" if args.nofuse else "fused",
         "record_blocks": "scalar" if args.scalar else "blocks",
         "python": sys.version.split()[0],
+        "host": host_metadata(),
         "workloads": {},
     }
     print(f"scheduler: {out['scheduler']}  data plane: {out['data_plane']}"
           f"  record blocks: {out['record_blocks']}  (repeat={args.repeat})")
+    host = out["host"]
+    print(f"host: {host['cpu_model'] or 'unknown CPU'}, "
+          f"{host['cores']} cores, "
+          + (f"{host['ram_bytes'] / 2**30:.1f} GiB RAM"
+             if host["ram_bytes"] else "RAM unknown"))
     for name in names:
         entry = run_workload(name, repeat=args.repeat)
         out["workloads"][name] = entry
