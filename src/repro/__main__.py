@@ -4,6 +4,7 @@ Subcommands::
 
     python -m repro run fig3 --quick --workers 4 --out results/
     python -m repro run --all --quick --workers 2 --out results/
+    python -m repro run fig3 --quick --machine commodity-eth
     python -m repro list --json
     python -m repro report results/ [--golden benchmarks/golden_fingerprints.json]
     python -m repro analyze lint src/ [--format=json]
@@ -50,6 +51,10 @@ def _build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--faults", action="store_true",
                        help="enable fault injection for experiments that "
                             "support it (currently fig8; see docs/faults.md)")
+    p_run.add_argument("--machine", default=None, metavar="NAME",
+                       help="run on a named machine model instead of the "
+                            "default Comet (see `list --json` or "
+                            "docs/hardware.md)")
     p_run.add_argument("--workers", type=int, default=1, metavar="N",
                        help="worker subprocesses (default: 1 = in-process)")
     p_run.add_argument("--intra-workers", type=int, default=1, metavar="N",
@@ -128,6 +133,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 print(f"note: {exp_id} does not take fault plans; "
                       "--faults ignored for it", file=sys.stderr)
 
+    if args.machine is not None:
+        from repro.cluster import get_machine
+        from repro.core.experiment import supports_machine
+        from repro.errors import ConfigurationError
+
+        try:
+            get_machine(args.machine)
+        except ConfigurationError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        for exp_id in ids:
+            if supports_machine(registry[exp_id]):
+                overrides.setdefault(exp_id, {})["machine"] = args.machine
+            else:
+                print(f"note: {exp_id} is machine-independent; "
+                      "--machine ignored for it", file=sys.stderr)
+
     if args.no_cache and (args.cache_dir is not None or args.refresh):
         print("--no-cache conflicts with --cache-dir/--refresh",
               file=sys.stderr)
@@ -165,7 +187,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
 
     registry = _ensure_registry()
     if args.json:
-        from repro.core.experiment import supports_faults
+        from repro.core.experiment import supports_faults, supports_machine
 
         def analysis_block(exp_id: str) -> dict:
             # the analysis layer is optional decoration on the listing: an
@@ -189,8 +211,25 @@ def _cmd_list(args: argparse.Namespace) -> int:
             except Exception:
                 return {}
 
+        def machines_block() -> list[dict]:
+            from repro.cluster import MACHINES
+
+            return [
+                {
+                    "name": m.name,
+                    "description": m.description,
+                    "nodes": m.cluster.num_nodes,
+                    "cores_per_node": m.cluster.node.cores,
+                    "hpc_fabric": m.hpc_fabric,
+                    "bigdata_fabric": m.bigdata_fabric,
+                    "shuffle_transports": list(m.shuffle_transports()),
+                }
+                for m in MACHINES.values()
+            ]
+
         print(json.dumps({
             "cache": cache_block(),
+            "machines": machines_block(),
             "experiments": [
                 {
                     "id": exp.exp_id,
@@ -200,6 +239,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
                     "intra_series": list(exp.intra_series),
                     "quick_params": sorted(exp.quick_params),
                     "faults": supports_faults(exp),
+                    "machine": supports_machine(exp),
                     "analysis": analysis_block(exp.exp_id),
                 }
                 for exp in registry.values()

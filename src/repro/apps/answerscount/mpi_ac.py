@@ -10,7 +10,6 @@ working" (Section V-C).  The Fig 4 harness records those points as absent.
 from __future__ import annotations
 
 from repro.cluster.cluster import Cluster
-from repro.costs import DEFAULT_COSTS
 from repro.fs.base import FileSystem
 from repro.mpi import MPIFile, mpi_run
 from repro.mpi.io import chunk_for_rank
@@ -42,7 +41,7 @@ def mpi_answers_count(
         data = f.read_at_all(offset, count)
         scale = fs.lookup(path).scale
         current_process().compute_bytes(
-            len(data) * scale, DEFAULT_COSTS.parse_rate_native)
+            len(data) * scale, cluster.machine.costs.parse_rate_native)
         questions = answers = 0
         # align to record boundaries within the chunk, as the C code does
         body = data.split(b"\n")

@@ -8,7 +8,6 @@ by the runtime itself.
 from __future__ import annotations
 
 from repro.cluster.cluster import Cluster
-from repro.costs import DEFAULT_COSTS
 from repro.fs.base import FileSystem
 from repro.fs.records import read_split_records
 from repro.openmp import omp_run
@@ -45,7 +44,7 @@ def openmp_answers_count(
             # native-rate text scan of the chunk (logical bytes)
             omp.compute_bytes(
                 sum(len(r) + 1 for r in records) * scale,
-                DEFAULT_COSTS.parse_rate_native)
+                cluster.machine.costs.parse_rate_native)
             for raw in records:
                 _pid, ptype, _parent = parse_post(raw.decode())
                 if ptype == POST_QUESTION:

@@ -9,7 +9,6 @@ the comparison fair" with Spark's materialising action.
 from __future__ import annotations
 
 from repro.cluster.cluster import Cluster
-from repro.costs import DEFAULT_COSTS
 from repro.fs.base import FileSystem
 from repro.mpi import MPIFile, mpi_run
 from repro.mpi.io import chunk_for_rank
@@ -37,7 +36,7 @@ def mpi_parallel_read(
 
         scale = fs.lookup(path).scale
         current_process().compute_bytes(
-            len(data) * scale, DEFAULT_COSTS.parse_rate_native)
+            len(data) * scale, cluster.machine.costs.parse_rate_native)
         records = data.count(b"\n")
         total = comm.allreduce(records)
         comm.barrier()

@@ -25,9 +25,12 @@ def mpi_reduce_latency(
     procs_per_node: int,
     *,
     iterations: int = ITERATIONS,
-    fabric: str = "ib-fdr-rdma",
+    fabric: str | None = None,
 ) -> dict[int, float]:
-    """Average reduce latency (seconds) per message size in bytes."""
+    """Average reduce latency (seconds) per message size in bytes.
+
+    ``fabric`` defaults to the cluster's machine (``hpc_fabric``).
+    """
 
     def bench(comm) -> dict[int, float]:
         out: dict[int, float] = {}

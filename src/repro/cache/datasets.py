@@ -70,28 +70,52 @@ def keyed_content(name: str, key_parts: object,
     return mapped
 
 
-def resolve_content(content: ContentProvider) -> ContentProvider:
+def resolve_content(content: ContentProvider, *,
+                    machine: str | None = None) -> ContentProvider:
     """Resolve a dataset's content through the store at staging time.
 
     Content that is already mapped (or that carries no cache identity) is
     returned as-is; content tagged by :func:`keyed_content` while no store
     was active gets published and re-opened mapped.  Always byte-identical
     to the input provider.
+
+    ``machine`` scopes the dataset key: staging for a non-default machine
+    re-keys the artifact under ``(key, machine)`` so machines never share
+    store entries (the default machine keeps the unscoped key, so existing
+    caches stay warm).  Payload bytes are machine-independent either way.
     """
-    if isinstance(content, MappedContent):
-        return content
     meta = getattr(content, "cache_meta", None)
     if meta is None:
+        return content
+    # ``base_key`` is the machine-independent identity keyed_content
+    # assigned; ``key`` is what the store is addressed with.  Scoping is
+    # derived from base_key every time, so re-staging an already-resolved
+    # provider (figures reuse content objects across sessions) is
+    # idempotent per machine.
+    base_key = meta.get("base_key", meta["key"])
+    key = base_key
+    scoped = None
+    if machine is not None:
+        from repro.cluster.machines import DEFAULT_MACHINE
+
+        if machine != DEFAULT_MACHINE:
+            key = cache_key("dataset", meta["name"], base_key,
+                            "machine", machine)
+            scoped = machine
+    if isinstance(content, MappedContent) and meta["key"] == key:
         return content
     store = active_store()
     if store is None:
         return content
-    mapped = store.open_dataset(meta["key"])
+    mapped = store.open_dataset(key)
     if mapped is None:
-        store.publish_dataset(meta["key"], content.read_all(),
+        store.publish_dataset(key, content.read_all(),
                               meta={"name": meta["name"]})
-        mapped = store.open_dataset(meta["key"])
+        mapped = store.open_dataset(key)
         if mapped is None:
             return content
-    mapped.cache_meta = dict(meta)
+    new_meta = {"name": meta["name"], "key": key, "base_key": base_key}
+    if scoped is not None:
+        new_meta["machine"] = scoped
+    mapped.cache_meta = new_meta
     return mapped

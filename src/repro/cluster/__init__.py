@@ -8,11 +8,22 @@ against.
 """
 
 from repro.cluster.cluster import Cluster
+from repro.cluster.machines import (
+    DEFAULT_MACHINE,
+    MACHINES,
+    MachineSpec,
+    get_machine,
+    machine_names,
+    register_machine,
+    resolve_machine,
+)
 from repro.cluster.network import Network
 from repro.cluster.node import Node
 from repro.cluster.spec import (
     COMET,
+    ETH_1G,
     ETH_10G,
+    ETH_100G,
     IB_FDR_RDMA,
     IPOIB,
     ClusterSpec,
@@ -28,10 +39,19 @@ __all__ = [
     "ClusterSpec",
     "NodeSpec",
     "FabricSpec",
+    "MachineSpec",
+    "MACHINES",
+    "DEFAULT_MACHINE",
+    "get_machine",
+    "machine_names",
+    "register_machine",
+    "resolve_machine",
     "COMET",
     "IB_FDR_RDMA",
     "IPOIB",
     "ETH_10G",
+    "ETH_100G",
+    "ETH_1G",
     "StorageDevice",
     "ssd_read_efficiency",
 ]

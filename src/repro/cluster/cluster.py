@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
+from repro.cluster.machines import MachineSpec, _adhoc
 from repro.cluster.network import Network
 from repro.cluster.node import Node
 from repro.cluster.spec import ClusterSpec
@@ -38,13 +39,26 @@ class Cluster:
     Parameters
     ----------
     spec:
-        Hardware description (node count, node spec, fabrics, NFS).
+        Hardware description (node count, node spec, fabrics, NFS) — or a
+        :class:`~repro.cluster.machines.MachineSpec`, in which case the
+        cluster also carries that machine's software costs and fabric
+        routing and every runtime launched against it resolves its
+        defaults from ``cluster.machine``.  A bare :class:`ClusterSpec`
+        is wrapped in an ad-hoc machine with the stock Comet-era costs
+        and InfiniBand routing, so direct construction behaves exactly
+        as it did before the machine axis existed.
     trace:
         Pass a :class:`~repro.sim.Trace` with ``enabled=True`` to record
         structured events (tests do; benchmarks don't, for speed).
     """
 
-    def __init__(self, spec: ClusterSpec, *, trace: Trace | None = None) -> None:
+    def __init__(self, spec: ClusterSpec | MachineSpec, *,
+                 trace: Trace | None = None) -> None:
+        if isinstance(spec, MachineSpec):
+            self.machine = spec
+            spec = spec.cluster
+        else:
+            self.machine = _adhoc(spec)
         self.spec = spec
         self.trace = trace if trace is not None else Trace(enabled=False)
         self.engine = Engine(trace=self.trace)

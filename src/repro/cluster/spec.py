@@ -70,6 +70,21 @@ ETH_10G = FabricSpec(
     copy_rate=3.2 * GB,
 )
 
+#: 100 GbE over the kernel TCP stack: wire bandwidth rivals FDR InfiniBand
+#: but every payload still crosses the socket/copy path, so small-message
+#: latency and per-message CPU stay Ethernet-class.  Used by the
+#: ``comet-100gbe`` what-if machine (:mod:`repro.cluster.machines`).
+ETH_100G = FabricSpec(
+    name="eth-100g", latency=20 * US, bandwidth=10.5 * GB, per_msg_cpu=20 * US,
+    copy_rate=3.2 * GB,
+)
+
+#: Commodity gigabit Ethernet — the original Hadoop deployment target.
+ETH_1G = FabricSpec(
+    name="eth-1g", latency=80 * US, bandwidth=0.117 * GB, per_msg_cpu=30 * US,
+    copy_rate=3.2 * GB,
+)
+
 
 @dataclass(frozen=True)
 class NodeSpec:
@@ -111,7 +126,8 @@ class ClusterSpec:
             if f.name == name:
                 return f
         raise ConfigurationError(
-            f"unknown fabric {name!r}; have {[f.name for f in self.fabrics]}"
+            f"unknown fabric {name!r} on {self.name!r}; "
+            f"available fabrics: {[f.name for f in self.fabrics]}"
         )
 
     def with_nodes(self, num_nodes: int) -> "ClusterSpec":

@@ -24,6 +24,7 @@ def ablation_persist(
     iterations: int = 10,
     nodes: int = 4,
     procs_per_node: int = 8,
+    machine: str = "comet",
 ) -> TableResult:
     """PageRank variants: the paper claims the Fig 5 persist tuning alone
     "improve[s] the performance of the Spark implementation by a factor
@@ -33,7 +34,7 @@ def ablation_persist(
     graph = graph or GraphSpec(n_vertices=8000, out_degree=8)
     content = edge_list_content(with_ring(graph.generate(), graph.n_vertices))
     scenario = ScenarioSpec(
-        nodes=nodes, procs_per_node=procs_per_node,
+        nodes=nodes, procs_per_node=procs_per_node, machine=machine,
         datasets=(Dataset("edges.txt", content, on=("hdfs",)),))
 
     rows = []
@@ -61,6 +62,7 @@ def ablation_replication(
     replication_factors: tuple[int, ...] = (1, 2, 4),
     logical_size: int = 8 * GiB,
     executors_per_node: int = 8,
+    machine: str = "comet",
 ) -> TableResult:
     """Section V-B2's observation and fix: with executors on fewer nodes
     than datanodes, low replication forces remote block fetches; raising
@@ -70,7 +72,7 @@ def ablation_replication(
     rows = []
     for repl in replication_factors:
         session = ScenarioSpec(
-            nodes=nodes, procs_per_node=executors_per_node,
+            nodes=nodes, procs_per_node=executors_per_node, machine=machine,
             hdfs=HDFSSpec(replication=repl),
             datasets=(Dataset("input.dat", content, scale=scale,
                               on=("hdfs",)),)).session()
@@ -97,7 +99,8 @@ def ablation_replication(
         ["Replication factor", "Read time", "Remote block bytes"], rows)
 
 
-def ablation_faults(*, nodes: int = 2, executors_per_node: int = 4) -> TableResult:
+def ablation_faults(*, nodes: int = 2, executors_per_node: int = 4,
+                    machine: str = "comet") -> TableResult:
     """Cost of recovering from one lost worker, per framework strategy.
 
     Spark recomputes lost lineage; Hadoop re-runs the failed attempt; MPI
@@ -106,7 +109,8 @@ def ablation_faults(*, nodes: int = 2, executors_per_node: int = 4) -> TableResu
     """
     rows = []
 
-    scenario = ScenarioSpec(nodes=nodes, procs_per_node=executors_per_node)
+    scenario = ScenarioSpec(nodes=nodes, procs_per_node=executors_per_node,
+                            machine=machine)
 
     # -- Spark: cached-data job, kill one executor between actions ----------
     def spark_time(kill: bool) -> float:

@@ -51,7 +51,7 @@ class Experiment:
 
 
 def _registry() -> dict[str, Experiment]:
-    from repro.core import ablations, extras, figures, validate
+    from repro.core import ablations, extras, figures, sweeps, validate
     from repro.units import GiB, KiB
     from repro.workloads.graphs import GraphSpec
     from repro.workloads.stackexchange import StackExchangeSpec
@@ -99,6 +99,13 @@ def _registry() -> dict[str, Experiment]:
              "graph": GraphSpec(n_vertices=2000, out_degree=4),
              "iterations": 3, "spark_physical_vertices": 2000},
             shard_param="workloads"),
+        "sweep-interconnect": Experiment(
+            "sweep-interconnect",
+            "MPI-vs-Spark reduce gap across machine models",
+            sweeps.sweep_interconnect,
+            {"size": 64 * KiB, "nodes": 2, "procs_per_node": 4,
+             "iterations": 3},
+            shard_param="machines"),
         "table3": Experiment(
             "table3", "Maintainability: LoC + boilerplate", figures.table3, {}),
         "ablation-persist": Experiment(
@@ -159,11 +166,26 @@ def get_experiment(exp_id: str) -> Experiment:
 
 def supports_faults(exp: Experiment) -> bool:
     """Whether an experiment takes a ``faults`` keyword (CLI ``--faults``)."""
+    return _takes_keyword(exp, "faults")
+
+
+def supports_machine(exp: Experiment) -> bool:
+    """Whether an experiment takes a ``machine`` keyword (CLI ``--machine``).
+
+    Machine-axis experiments accept a named :class:`~repro.cluster.machines.
+    MachineSpec` selecting the hardware + cost model; the rest (e.g. the
+    static-analysis ``table3``, or ``sweep-interconnect`` which takes a
+    ``machines`` tuple instead) are machine-independent.
+    """
+    return _takes_keyword(exp, "machine")
+
+
+def _takes_keyword(exp: Experiment, name: str) -> bool:
     try:
         sig = inspect.signature(exp.run)
     except (TypeError, ValueError):  # pragma: no cover - builtins only
         return False
-    return "faults" in sig.parameters
+    return name in sig.parameters
 
 
 def run_experiment(exp_id: str, *, quick: bool = False,

@@ -30,6 +30,7 @@ def extra_kmeans(
     dim: int = 4,
     iterations: int = 10,
     procs_per_node: int = 8,
+    machine: str = "comet",
 ) -> FigureResult:
     """K-means time vs node count, MPI vs Spark (identical numerics)."""
     import numpy as np
@@ -44,7 +45,8 @@ def extra_kmeans(
     spark = Series("Spark")
     reference = None
     for nodes in node_counts:
-        scenario = ScenarioSpec(nodes=nodes, procs_per_node=procs_per_node)
+        scenario = ScenarioSpec(nodes=nodes, procs_per_node=procs_per_node,
+                                machine=machine)
         t, cent = mpi_kmeans.run_in(scenario.session(), points, k,
                                     scenario.nprocs, procs_per_node,
                                     iterations=iterations)
@@ -65,12 +67,13 @@ def extra_mapreduce(
     nodes: int = 4,
     procs_per_node: int = 8,
     spec: StackExchangeSpec | None = None,
+    machine: str = "comet",
 ) -> TableResult:
     """Word-count over the posts corpus: Hadoop vs MPI-MapReduce vs Spark."""
     spec = spec or StackExchangeSpec(n_posts=10_000)
     content = stackexchange_content(spec)
     hdfs_scenario = ScenarioSpec(
-        nodes=nodes, procs_per_node=procs_per_node,
+        nodes=nodes, procs_per_node=procs_per_node, machine=machine,
         datasets=(Dataset("posts.txt", content, on=("hdfs",)),))
     local_scenario = hdfs_scenario.with_(
         datasets=(Dataset("posts.txt", content, on=("local",)),))

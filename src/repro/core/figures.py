@@ -30,7 +30,7 @@ from repro.apps import (
     spark_parallel_read,
     spark_reduce_latency,
 )
-from repro.cluster import COMET
+from repro.cluster import resolve_machine
 from repro.core.metrics import TABLE3_CORPUS, measure_module
 from repro.core.report import FigureResult, Series, TableResult
 from repro.errors import SimProcessError
@@ -45,21 +45,26 @@ from repro.workloads.stackexchange import StackExchangeSpec, stackexchange_conte
 # ---------------------------------------------------------------------------
 
 
-def table1() -> TableResult:
-    """The Comet node configuration the simulator encodes (paper Table I)."""
-    node = COMET.node
+def table1(*, machine: str = "comet") -> TableResult:
+    """The node configuration the simulator encodes (paper Table I).
+
+    Renders the named machine's hardware model; the default is the
+    paper's SDSC Comet.
+    """
+    m = resolve_machine(machine)
+    node = m.cluster.node
     rows = [
-        ["Processor type", "Intel Xeon E5-2680v3 (modelled)"],
+        ["Processor type", m.cpu_model],
         ["Sockets #", "2"],
         ["Cores/socket", str(node.cores // 2)],
         ["Clock speed", f"{node.clock_hz / 1e9:.1f} GHz"],
         ["Flop speed", f"{node.flops / 1e9:.0f} GFlop/s"],
         ["Memory capacity", f"{node.mem_bytes // 2**30} GiB"],
-        ["Interconnect", "FDR InfiniBand (RDMA / IPoIB modelled)"],
+        ["Interconnect", m.interconnect],
         ["Local scratch", fmt_bytes(node.ssd_bytes)
          + f" SSD @ {fmt_rate(node.ssd_read_bw)}"],
     ]
-    return TableResult("Table I", "Comet node configuration",
+    return TableResult("Table I", f"{m.name.capitalize()} node configuration",
                        ["Attribute", "Value"], rows)
 
 
@@ -75,10 +80,17 @@ def fig3(
     procs_per_node: int = 8,
     iterations: int = 10,
     include_shmem: bool = False,
+    machine: str = "comet",
 ) -> FigureResult:
-    """Reduce latency vs message size: MPI, Spark, Spark-RDMA (64 procs)."""
+    """Reduce latency vs message size: MPI, Spark, Spark-RDMA (64 procs).
+
+    On machines without an RDMA shuffle transport (e.g. ``comet-100gbe``)
+    the Spark-RDMA series is omitted.
+    """
     sizes = sizes or [4, 64, 1 * KiB, 16 * KiB, 256 * KiB, 1 * MiB]
-    scenario = ScenarioSpec(nodes=nodes, procs_per_node=procs_per_node)
+    scenario = ScenarioSpec(nodes=nodes, procs_per_node=procs_per_node,
+                            machine=machine)
+    transports = scenario.machine_spec.shuffle_transports()
     nprocs = scenario.nprocs
     fig = FigureResult("Fig 3", "Reduce microbenchmark"
                        f" ({nprocs} processes, {procs_per_node}/node)",
@@ -88,6 +100,8 @@ def fig3(
                                     procs_per_node, iterations=iterations)
     fig.series.append(Series("MPI", [(s, mpi[s]) for s in sizes]))
     for transport, label in (("socket", "Spark"), ("rdma", "Spark-RDMA")):
+        if transport not in transports:
+            continue
         lat = spark_reduce_latency.run_in(
             scenario.session(), sizes, nprocs, procs_per_node,
             shuffle_transport=transport, iterations=max(1, iterations // 3))
@@ -107,7 +121,8 @@ def fig3(
 
 def _read_scenario(nodes: int, procs_per_node: int, logical_size: int, *,
                    physical: int = 2 * MiB,
-                   replication: int | None = None) -> ScenarioSpec:
+                   replication: int | None = None,
+                   machine: str = "comet") -> ScenarioSpec:
     """Scenario with the read benchmark's input on local scratch and HDFS."""
     from repro.cache import keyed_content
 
@@ -120,7 +135,7 @@ def _read_scenario(nodes: int, procs_per_node: int, logical_size: int, *,
     from repro.platform import HDFSSpec
 
     return ScenarioSpec(
-        nodes=nodes, procs_per_node=procs_per_node,
+        nodes=nodes, procs_per_node=procs_per_node, machine=machine,
         hdfs=HDFSSpec(replication=replication),
         datasets=(Dataset("input.dat", content, scale=scale),))
 
@@ -130,6 +145,7 @@ def table2(
     *,
     nodes: int = 8,
     procs_per_node: int = 8,
+    machine: str = "comet",
 ) -> TableResult:
     """Parallel file read times (paper Table II)."""
     headers = ["File size", "Spark on HDFS (scratch fs)",
@@ -139,7 +155,8 @@ def table2(
     from repro.units import fmt_seconds
 
     for size in logical_sizes:
-        scenario = _read_scenario(nodes, procs_per_node, size)
+        scenario = _read_scenario(nodes, procs_per_node, size,
+                                  machine=machine)
         t_hdfs, n1 = spark_parallel_read.run_in(
             scenario.session(), "hdfs://input.dat", procs_per_node)
         # local files split at the same ~128 MB granularity HDFS blocks give
@@ -186,6 +203,7 @@ def fig4(
     logical_size: int = 80 * GiB,
     spec: StackExchangeSpec | None = None,
     series: tuple[str, ...] | None = None,
+    machine: str = "comet",
 ) -> FigureResult:
     """AnswersCount execution time vs process count (paper Fig 4).
 
@@ -199,7 +217,7 @@ def fig4(
 
     def session_with_data(nodes: int) -> Session:
         return ScenarioSpec(
-            nodes=nodes, procs_per_node=procs_per_node,
+            nodes=nodes, procs_per_node=procs_per_node, machine=machine,
             datasets=(Dataset("posts.txt", content, scale=scale),)).session()
 
     fig = FigureResult("Fig 4", "StackExchange AnswersCount"
@@ -211,7 +229,7 @@ def fig4(
     mpi = Series("MPI")
     spark = Series("Spark")
     hadoop = Series("Hadoop")
-    node_cores = COMET.node.cores
+    node_cores = resolve_machine(machine).cluster.node.cores
     for p in proc_counts:
         nodes = -(-p // procs_per_node)
         # OpenMP: single node only
@@ -282,9 +300,10 @@ def _pagerank_inputs(
 
 
 def _spark_pagerank_session(nodes: int, procs_per_node: int, content,
-                            record_scale: int) -> Session:
+                            record_scale: int,
+                            machine: str = "comet") -> Session:
     return ScenarioSpec(
-        nodes=nodes, procs_per_node=procs_per_node,
+        nodes=nodes, procs_per_node=procs_per_node, machine=machine,
         datasets=(Dataset("edges.txt", content, scale=record_scale,
                           on=("hdfs",)),)).session()
 
@@ -297,10 +316,16 @@ def fig6(
     iterations: int = 10,
     spark_physical_vertices: int = 16_000,
     series: tuple[str, ...] | None = None,
+    machine: str = "comet",
 ) -> FigureResult:
-    """BigDataBench PageRank: MPI vs Spark vs Spark-RDMA (paper Fig 6)."""
+    """BigDataBench PageRank: MPI vs Spark vs Spark-RDMA (paper Fig 6).
+
+    On machines without an RDMA shuffle transport the Spark-RDMA series
+    is omitted.
+    """
     graph = graph or GraphSpec(n_vertices=1_000_000, out_degree=8)
     want = _select_series(("MPI", "Spark", "Spark-RDMA"), series)
+    transports = resolve_machine(machine).shuffle_transports()
     mpi_edges, content, n_spark, record_scale = _pagerank_inputs(
         graph, spark_physical_vertices)
     fig = FigureResult(
@@ -312,19 +337,19 @@ def fig6(
         s_mpi = Series("MPI")
         for nodes in node_counts:
             t, _ = mpi_pagerank.run_in(
-                ScenarioSpec(nodes=nodes,
-                             procs_per_node=procs_per_node).session(),
+                ScenarioSpec(nodes=nodes, procs_per_node=procs_per_node,
+                             machine=machine).session(),
                 mpi_edges, graph.n_vertices, nodes * procs_per_node,
                 procs_per_node, iterations=iterations)
             s_mpi.add(nodes, t)
         fig.series.append(s_mpi)
     for transport, label in (("socket", "Spark"), ("rdma", "Spark-RDMA")):
-        if label not in want:
+        if label not in want or transport not in transports:
             continue
         s = Series(label)
         for nodes in node_counts:
             session = _spark_pagerank_session(nodes, procs_per_node, content,
-                                              record_scale)
+                                              record_scale, machine)
             t, _ = spark_pagerank_bigdatabench.run_in(
                 session, "hdfs://edges.txt", n_spark, procs_per_node,
                 iterations=iterations, shuffle_transport=transport,
@@ -342,10 +367,16 @@ def fig7(
     iterations: int = 10,
     spark_physical_vertices: int = 16_000,
     series: tuple[str, ...] | None = None,
+    machine: str = "comet",
 ) -> FigureResult:
-    """HiBench PageRank: Spark default vs Spark-RDMA (paper Fig 7)."""
+    """HiBench PageRank: Spark default vs Spark-RDMA (paper Fig 7).
+
+    On machines without an RDMA shuffle transport the Spark-RDMA series
+    is omitted.
+    """
     graph = graph or GraphSpec(n_vertices=1_000_000, out_degree=8)
     want = _select_series(("Spark", "Spark-RDMA"), series)
+    transports = resolve_machine(machine).shuffle_transports()
     _mpi_edges, content, n_spark, record_scale = _pagerank_inputs(
         graph, spark_physical_vertices)
     fig = FigureResult(
@@ -354,12 +385,12 @@ def fig7(
         f" {procs_per_node} processes/node)",
         "nodes", "execution time (s)")
     for transport, label in (("socket", "Spark"), ("rdma", "Spark-RDMA")):
-        if label not in want:
+        if label not in want or transport not in transports:
             continue
         s = Series(label)
         for nodes in node_counts:
             session = _spark_pagerank_session(nodes, procs_per_node, content,
-                                              record_scale)
+                                              record_scale, machine)
             t, _ = spark_pagerank_hibench.run_in(
                 session, "hdfs://edges.txt", n_spark, procs_per_node,
                 iterations=iterations, shuffle_transport=transport,
@@ -396,6 +427,7 @@ def fig8(
     iterations: int = 5,
     spark_physical_vertices: int = 16_000,
     faults: bool = True,
+    machine: str = "comet",
 ) -> TableResult:
     """Recovery cost of one injected node crash, per framework (Fig 8).
 
@@ -461,7 +493,7 @@ def fig8(
         content = stackexchange_content(spec)
         scale = max(1, logical_size // content.size)
         base = ScenarioSpec(
-            nodes=nodes, procs_per_node=procs_per_node,
+            nodes=nodes, procs_per_node=procs_per_node, machine=machine,
             datasets=(Dataset("posts.txt", content, scale=scale),))
 
         def run_spark(s):
@@ -488,10 +520,11 @@ def fig8(
         mpi_edges, content, n_spark, record_scale = _pagerank_inputs(
             graph, spark_physical_vertices)
         spark_base = ScenarioSpec(
-            nodes=nodes, procs_per_node=procs_per_node,
+            nodes=nodes, procs_per_node=procs_per_node, machine=machine,
             datasets=(Dataset("edges.txt", content, scale=record_scale,
                               on=("hdfs",)),))
-        mpi_base = ScenarioSpec(nodes=nodes, procs_per_node=procs_per_node)
+        mpi_base = ScenarioSpec(nodes=nodes, procs_per_node=procs_per_node,
+                                machine=machine)
 
         def run_spark(s):
             return spark_pagerank_bigdatabench.run_in(
@@ -508,7 +541,8 @@ def fig8(
         measure("PageRank", "MPI (no fault tolerance)", mpi_base, run_mpi)
 
     def reduce_rows():
-        base = ScenarioSpec(nodes=nodes, procs_per_node=procs_per_node)
+        base = ScenarioSpec(nodes=nodes, procs_per_node=procs_per_node,
+                            machine=machine)
         n = 16 * KiB // 4
         rounds = max(3, iterations)
 

@@ -1,0 +1,64 @@
+"""Hardware sweeps: re-run a paper-class point across machine models.
+
+The paper measures one machine (SDSC Comet, Table I) and attributes much
+of the HPC-vs-Big-Data gap to software.  The machine axis
+(:mod:`repro.cluster.machines`) lets the same experiment run on variant
+hardware models, separating the software gap from the fabric: on Comet
+the MPI-vs-Spark ratio is dominated by framework overheads, while on a
+commodity 1 GbE cluster the network share grows and the relative gap
+narrows at large message sizes.
+
+:func:`sweep_interconnect` is the fig3/fig6-class point: one allreduce
+latency per machine for MPI and for Spark's socket shuffle, plus their
+ratio.  It is registered as the ``sweep-interconnect`` experiment and
+shards across machines like any other sweep.
+"""
+
+from __future__ import annotations
+
+from repro.apps import mpi_reduce_latency, spark_reduce_latency
+from repro.cluster import resolve_machine
+from repro.core.report import TableResult
+from repro.platform import ScenarioSpec
+from repro.units import MiB, fmt_seconds
+
+
+def sweep_interconnect(
+    machines: tuple[str, ...] = ("comet", "comet-100gbe", "commodity-eth"),
+    *,
+    size: int = 1 * MiB,
+    nodes: int = 4,
+    procs_per_node: int = 8,
+    iterations: int = 5,
+) -> TableResult:
+    """MPI vs Spark reduce latency at one message size, per machine.
+
+    Every machine runs the identical workload: an ``iterations``-round
+    allreduce of ``size`` bytes over ``nodes * procs_per_node`` processes
+    (the Fig 3 microbenchmark point), once under MPI on the machine's HPC
+    fabric and once under Spark's socket shuffle on its Big Data fabric.
+    The last column is the HPC-vs-Big-Data gap — the quantity whose
+    hardware-(in)dependence the sweep probes.
+    """
+    rows = []
+    for name in machines:
+        m = resolve_machine(name)
+        scenario = ScenarioSpec(nodes=nodes, procs_per_node=procs_per_node,
+                                machine=name)
+        nprocs = scenario.nprocs
+        mpi = mpi_reduce_latency.run_in(
+            scenario.session(), [size], nprocs, procs_per_node,
+            iterations=iterations)[size]
+        spark = spark_reduce_latency.run_in(
+            scenario.session(), [size], nprocs, procs_per_node,
+            shuffle_transport="socket",
+            iterations=max(1, iterations // 3))[size]
+        rows.append([m.name, m.hpc_fabric, m.bigdata_fabric,
+                     fmt_seconds(mpi), fmt_seconds(spark),
+                     f"{spark / mpi:.1f}x"])
+    return TableResult(
+        "Sweep: interconnect",
+        f"Reduce latency ({size} B, {nodes * procs_per_node} processes,"
+        f" {procs_per_node}/node) per machine model",
+        ["Machine", "HPC fabric", "Big Data fabric", "MPI", "Spark (socket)",
+         "Spark/MPI"], rows)

@@ -40,10 +40,10 @@ from repro.workloads.stackexchange import (
 
 
 def validate(*, n_posts: int = 3000, n_vertices: int = 400,
-             iterations: int = 5) -> TableResult:
+             iterations: int = 5, machine: str = "comet") -> TableResult:
     """Run every (benchmark, framework) pair and report agreement."""
     rows: list[list[str]] = []
-    bare = ScenarioSpec(nodes=2, procs_per_node=4)
+    bare = ScenarioSpec(nodes=2, procs_per_node=4, machine=machine)
 
     def row(bench: str, model: str, ok: bool, detail: str) -> None:
         rows.append([bench, model, "ok" if ok else "MISMATCH", detail])

@@ -119,5 +119,9 @@ class SoftwareCosts:
     hadoop_spill_buffer: int = 100 * MB
 
 
-#: Comet-era calibration used by every experiment unless overridden.
+#: The stock Comet-era calibration.  Kept as a convenience constant for
+#: tests and ablations; runtimes no longer consult it — they resolve
+#: their costs from ``cluster.machine.costs`` (the machine axis,
+#: :mod:`repro.cluster.machines`), so two sessions on different machines
+#: can coexist in one process.
 DEFAULT_COSTS = SoftwareCosts()

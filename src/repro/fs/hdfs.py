@@ -65,8 +65,9 @@ class HDFS(FileSystem):
     replication:
         Default replica count for new files (clamped to the node count).
     fabric:
-        Fabric name remote block fetches travel over (``"ipoib"`` matches
-        default Spark/Hadoop on Comet).
+        Fabric name remote block fetches travel over; defaults to the
+        cluster's machine (``cluster.machine.bigdata_fabric`` — IPoIB on
+        Comet, matching default Spark/Hadoop).
     """
 
     scheme = "hdfs"
@@ -77,7 +78,7 @@ class HDFS(FileSystem):
         *,
         block_size: int = DEFAULT_BLOCK_SIZE,
         replication: int = 3,
-        fabric: str = "ipoib",
+        fabric: str | None = None,
         client_rate: float = 0.5e9,
     ) -> None:
         if block_size < 1:
@@ -87,7 +88,8 @@ class HDFS(FileSystem):
         self.cluster = cluster
         self.block_size = block_size
         self.replication = replication
-        self.fabric = fabric
+        self.fabric = fabric if fabric is not None \
+            else cluster.machine.bigdata_fabric
         #: bytes/s of the client+datanode software path (checksum verify,
         #: DataXceiver copies) charged per byte read on top of the device —
         #: the source of the "25% overhead in using HDFS compared to the

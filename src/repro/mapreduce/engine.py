@@ -24,7 +24,7 @@ from collections import deque
 from typing import Any
 
 from repro.cluster.cluster import Cluster
-from repro.costs import DEFAULT_COSTS, SoftwareCosts
+from repro.costs import SoftwareCosts
 from repro.errors import BlockUnavailableError, MapReduceError, TaskFailedError
 from repro.fs.hdfs import HDFS
 from repro.fs.records import read_split_records
@@ -79,11 +79,19 @@ def run_job(
     *,
     map_slots_per_node: int = 8,
     reduce_slots_per_node: int = 8,
-    fabric: str = "ipoib",
-    costs: SoftwareCosts = DEFAULT_COSTS,
+    fabric: str | None = None,
+    costs: SoftwareCosts | None = None,
     fault_injector: FaultInjector | None = None,
 ) -> JobResult:
-    """Run one MapReduce job to completion on the cluster's engine."""
+    """Run one MapReduce job to completion on the cluster's engine.
+
+    ``fabric`` and ``costs`` default to the cluster's machine
+    (``cluster.machine.bigdata_fabric`` / ``.costs``).
+    """
+    if fabric is None:
+        fabric = cluster.machine.bigdata_fabric
+    if costs is None:
+        costs = cluster.machine.costs
     if conf.num_reduces < 1:
         raise MapReduceError("num_reduces must be >= 1")
     state = _JobState(cluster, conf, costs, fabric, fault_injector)

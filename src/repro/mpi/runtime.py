@@ -7,7 +7,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
 from repro.cluster.cluster import Cluster
-from repro.costs import DEFAULT_COSTS, SoftwareCosts
+from repro.costs import SoftwareCosts
 from repro.errors import ConfigurationError, MPICommError
 from repro.sim.engine import current_process
 from repro.sim.process import SimProcess
@@ -101,8 +101,8 @@ def mpi_run(
     nprocs: int,
     *,
     procs_per_node: int | None = None,
-    fabric: str = "ib-fdr-rdma",
-    costs: SoftwareCosts = DEFAULT_COSTS,
+    fabric: str | None = None,
+    costs: SoftwareCosts | None = None,
     args: tuple = (),
     charge_launch: bool = True,
 ) -> MPIResult:
@@ -117,7 +117,13 @@ def mpi_run(
 
     Set ``charge_launch=False`` to skip mpirun/MPI_Init costs (used by
     microbenchmarks that, like OSU's, time only the measured loop).
+    ``fabric`` and ``costs`` default to the cluster's machine
+    (``cluster.machine.hpc_fabric`` / ``.costs``).
     """
+    if fabric is None:
+        fabric = cluster.machine.hpc_fabric
+    if costs is None:
+        costs = cluster.machine.costs
     if nprocs < 1:
         raise ConfigurationError("nprocs must be >= 1")
     if procs_per_node is None:

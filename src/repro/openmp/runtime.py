@@ -7,7 +7,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Iterator
 
 from repro.cluster.cluster import Cluster
-from repro.costs import DEFAULT_COSTS, SoftwareCosts
+from repro.costs import SoftwareCosts
 from repro.errors import ConfigurationError, OpenMPError
 from repro.openmp.loops import ChunkDispenser, Schedule, iterate, split_static
 from repro.sim.engine import current_process
@@ -280,7 +280,7 @@ def omp_run(
     num_threads: int,
     *,
     node_id: int = 0,
-    costs: SoftwareCosts = DEFAULT_COSTS,
+    costs: SoftwareCosts | None = None,
     args: tuple = (),
 ) -> OMPResult:
     """Execute ``fn(omp, *args)`` as a parallel region of ``num_threads``.
@@ -288,8 +288,10 @@ def omp_run(
     Threads are pinned to ``node_id`` — OpenMP is a single-node model, so
     asking for more threads than the node has cores raises
     :class:`~repro.errors.ConfigurationError` (the simulator does not model
-    oversubscription).
+    oversubscription).  ``costs`` defaults to the cluster's machine.
     """
+    if costs is None:
+        costs = cluster.machine.costs
     if num_threads < 1:
         raise ConfigurationError("num_threads must be >= 1")
     node = cluster.nodes[node_id]

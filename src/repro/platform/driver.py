@@ -248,17 +248,30 @@ def unit_cache_key(plan: CachePlan, unit: Unit) -> str | None:
     """Result-plane key of a unit, or ``None`` if its params defy encoding.
 
     Keyed on (code version, execution variant, experiment id, fully
-    resolved params) — the unit's ``index``/``total``/``point``/``series``
-    are derived from the params and the registry, so they carry no extra
-    information.  The scenario a unit provisions is itself a pure function
-    of experiment id + params, which is how the key covers the scenario
-    fingerprint.
+    resolved params, machine spec) — the unit's
+    ``index``/``total``/``point``/``series`` are derived from the params
+    and the registry, so they carry no extra information.  The scenario a
+    unit provisions is itself a pure function of experiment id + params,
+    which is how the key covers the scenario fingerprint.  The *resolved*
+    :class:`~repro.cluster.MachineSpec` (hardware, costs, fabric routing)
+    is folded in — not just its name — so results computed on one machine
+    definition are never replayed for another, and editing a registered
+    machine invalidates its entries.
     """
     from repro.cache import UncacheableError, cache_key
+    from repro.cluster import DEFAULT_MACHINE, resolve_machine
+    from repro.errors import ConfigurationError
 
     try:
+        machine = resolve_machine(unit.params.get("machine", DEFAULT_MACHINE))
+    except ConfigurationError:
+        return None
+    # the resolved spec subsumes the name, so drop the ``machine`` param
+    # before folding: ``machine="comet"`` and the bare default share keys
+    params = {k: v for k, v in unit.params.items() if k != "machine"}
+    try:
         return cache_key("unit-result", plan.code_version, plan.variant,
-                         unit.exp_id, unit.params)
+                         unit.exp_id, params, machine)
     except UncacheableError:
         return None
 

@@ -39,7 +39,13 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-from repro.cluster import COMET, Cluster, ClusterSpec
+from repro.cluster import (
+    DEFAULT_MACHINE,
+    Cluster,
+    ClusterSpec,
+    MachineSpec,
+    resolve_machine,
+)
 from repro.errors import ConfigurationError
 from repro.sim.trace import Trace
 
@@ -89,8 +95,14 @@ class ScenarioSpec:
     #: process density — executors, ranks, PEs or slots per node (the
     #: paper's runs use 8 or 16)
     procs_per_node: int = 8
-    #: hardware description; defaults to the simulated SDSC Comet
-    base: ClusterSpec = COMET
+    #: the machine this scenario provisions — a registry name or a
+    #: :class:`~repro.cluster.MachineSpec`; defaults to the simulated
+    #: SDSC Comet (see :mod:`repro.cluster.machines`)
+    machine: str | MachineSpec = DEFAULT_MACHINE
+    #: optional hardware override: replaces the machine's cluster spec
+    #: while keeping its costs and fabric routing (rarely needed — prefer
+    #: a machine variant)
+    base: ClusterSpec | None = None
     #: HDFS mount parameters (replication, block size)
     hdfs: HDFSSpec = field(default_factory=HDFSSpec)
     #: input files staged before the run, in declaration order
@@ -113,6 +125,14 @@ class ScenarioSpec:
     def nprocs(self) -> int:
         """Total process count (``nodes * procs_per_node``)."""
         return self.nodes * self.procs_per_node
+
+    @property
+    def machine_spec(self) -> MachineSpec:
+        """The resolved machine, with ``base`` applied if set."""
+        machine = resolve_machine(self.machine)
+        if self.base is not None:
+            machine = machine.with_(cluster=self.base)
+        return machine
 
     def with_(self, **changes: Any) -> "ScenarioSpec":
         """A copy of this spec with fields replaced.
@@ -147,9 +167,16 @@ class Session:
 
     def __init__(self, spec: ScenarioSpec) -> None:
         self.spec = spec
+        self.machine = spec.machine_spec
+        node_cores = self.machine.cluster.node.cores
+        if spec.procs_per_node > node_cores:
+            raise ConfigurationError(
+                f"scenario oversubscribes the node model: "
+                f"{spec.procs_per_node} processes/node on machine "
+                f"{self.machine.name!r} whose nodes have {node_cores} cores")
         self.trace = (Trace(hb=spec.hb) if spec.trace or spec.hb
                       else None)
-        self.cluster = Cluster(spec.base.with_nodes(spec.nodes),
+        self.cluster = Cluster(self.machine.with_nodes(spec.nodes),
                                trace=self.trace)
         # Arm fault plans before any datasets or runtimes exist so the
         # injector daemon gets the first pid *when used*; with no plans
@@ -210,10 +237,12 @@ class Session:
         artifact store first, so staged payloads are served from a
         read-only ``mmap`` shared across worker processes.  Resolution is
         byte-preserving — the staged file is identical either way.
+        Non-default machines scope the cache identity so their staged
+        artifacts are never shared with another machine's.
         """
         from repro.cache import resolve_content
 
-        content = resolve_content(ds.content)
+        content = resolve_content(ds.content, machine=self.machine.name)
         for scheme in ds.on:
             fs = self.fs(scheme)
             if scheme == "local":
@@ -300,4 +329,5 @@ def session_app(fn: Callable[..., Any]) -> Callable[..., Any]:
 
 def comet(nodes: int, *, trace: Trace | None = None) -> Cluster:
     """A bare simulated Comet slice — the one place this is constructed."""
-    return Cluster(COMET.with_nodes(nodes), trace=trace)
+    return Cluster(resolve_machine(DEFAULT_MACHINE).with_nodes(nodes),
+                   trace=trace)

@@ -8,7 +8,7 @@ from typing import Any, Callable
 import numpy as np
 
 from repro.cluster.cluster import Cluster
-from repro.costs import DEFAULT_COSTS, SoftwareCosts
+from repro.costs import SoftwareCosts
 from repro.errors import ConfigurationError, ShmemError
 from repro.shmem.heap import SymmetricArray, SymmetricHeap
 from repro.sim.engine import current_process
@@ -317,11 +317,19 @@ def shmem_run(
     npes: int,
     *,
     pes_per_node: int | None = None,
-    fabric: str = "ib-fdr-rdma",
-    costs: SoftwareCosts = DEFAULT_COSTS,
+    fabric: str | None = None,
+    costs: SoftwareCosts | None = None,
     args: tuple = (),
 ) -> ShmemResult:
-    """Launch ``fn(pe, *args)`` as an SPMD SHMEM job of ``npes`` PEs."""
+    """Launch ``fn(pe, *args)`` as an SPMD SHMEM job of ``npes`` PEs.
+
+    ``fabric`` and ``costs`` default to the cluster's machine
+    (``cluster.machine.hpc_fabric`` / ``.costs``).
+    """
+    if fabric is None:
+        fabric = cluster.machine.hpc_fabric
+    if costs is None:
+        costs = cluster.machine.costs
     if npes < 1:
         raise ConfigurationError("npes must be >= 1")
     if pes_per_node is None:

@@ -17,7 +17,7 @@ from typing import Any, Callable
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.node import Node
-from repro.costs import DEFAULT_COSTS, SoftwareCosts
+from repro.costs import SoftwareCosts
 from repro.errors import ConfigurationError, SparkError
 from repro.sim.engine import current_process
 from repro.sim.process import SimProcess
@@ -59,7 +59,8 @@ class SparkEnv:
 
     def __init__(self, cluster: Cluster, costs: SoftwareCosts,
                  shuffle_transport: str, control_fabric: str,
-                 driver_node: Node, record_scale: int = 1) -> None:
+                 driver_node: Node, record_scale: int = 1,
+                 shuffle_fabric: str | None = None) -> None:
         self.cluster = cluster
         self.costs = costs
         #: logical records per physical record (the Spark twin of the
@@ -68,6 +69,11 @@ class SparkEnv:
         #: *timed* as the paper-sized one.  Data values are untouched.
         self.record_scale = record_scale
         self.shuffle_transport = shuffle_transport
+        #: fabric the shuffle transport rides (resolved from the cluster's
+        #: machine by the SparkContext; overridable for direct env builds)
+        self.shuffle_fabric = (shuffle_fabric if shuffle_fabric is not None
+                               else cluster.machine.shuffle_fabric(
+                                   shuffle_transport))
         self.control_fabric = control_fabric
         self.driver_node = driver_node
         self.driver_mailbox = Mailbox("spark:driver")
@@ -117,7 +123,9 @@ class SparkContext:
         Heap per executor; defaults to an even share of 80 % of node memory.
     shuffle_transport:
         ``"socket"`` (default Spark over IPoIB) or ``"rdma"`` (the shuffle
-        plugin of Lu et al. — shuffle payloads only).
+        plugin of Lu et al. — shuffle payloads only).  The transports a
+        machine supports — and the fabric each rides — come from
+        ``cluster.machine.shuffle_fabrics``.
     app_startup:
         Virtual seconds charged for spinning up driver + executors
         (YARN/standalone container launch); subtract via
@@ -132,20 +140,22 @@ class SparkContext:
         executor_nodes: list[int] | None = None,
         executor_memory: int | None = None,
         shuffle_transport: str = "socket",
-        control_fabric: str = "ipoib",
+        control_fabric: str | None = None,
         driver_node: int = 0,
-        costs: SoftwareCosts = DEFAULT_COSTS,
+        costs: SoftwareCosts | None = None,
         default_parallelism: int | None = None,
         app_startup: float = DEFAULT_APP_STARTUP,
         record_scale: int = 1,
     ) -> None:
-        from repro.spark.shuffle import TRANSPORT_FABRICS
-
-        if shuffle_transport not in TRANSPORT_FABRICS:
-            raise ConfigurationError(
-                f"unknown shuffle transport {shuffle_transport!r}; "
-                f"choose from {sorted(TRANSPORT_FABRICS)}"
-            )
+        machine = cluster.machine
+        # resolves the transport -> fabric routing and raises
+        # ConfigurationError (listing this machine's transports) if the
+        # machine doesn't support the requested one
+        shuffle_fabric = machine.shuffle_fabric(shuffle_transport)
+        if control_fabric is None:
+            control_fabric = machine.bigdata_fabric
+        if costs is None:
+            costs = machine.costs
         self.cluster = cluster
         self.costs = costs
         nodes = executor_nodes if executor_nodes is not None else list(
@@ -167,7 +177,8 @@ class SparkContext:
         if record_scale < 1:
             raise ConfigurationError("record_scale must be >= 1")
         self.env = SparkEnv(cluster, costs, shuffle_transport, control_fabric,
-                            cluster.nodes[driver_node], record_scale)
+                            cluster.nodes[driver_node], record_scale,
+                            shuffle_fabric=shuffle_fabric)
         self._scheduler = sched.DAGScheduler(self.env)
         self.default_parallelism = default_parallelism or len(
             self._executor_placement)

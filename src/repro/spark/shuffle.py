@@ -14,7 +14,9 @@ The transport is pluggable, mirroring Lu et al.'s RDMA-Spark (paper
 Section VII): ``"socket"`` sends buckets over IPoIB with per-message CPU and
 copy costs; ``"rdma"`` moves *shuffle payloads only* over the native
 InfiniBand verbs path.  Orchestration stays on sockets in both cases —
-exactly why RDMA gains nothing in Fig 3/Fig 6 and wins in Fig 7.
+exactly why RDMA gains nothing in Fig 3/Fig 6 and wins in Fig 7.  Which
+fabric each transport rides comes from the cluster's machine
+(``cluster.machine.shuffle_fabrics``, resolved by the SparkContext).
 """
 
 from __future__ import annotations
@@ -26,9 +28,6 @@ from repro.errors import SparkError
 from repro.mpi.datatypes import nbytes_of
 from repro.sim.process import SimProcess
 from repro.spark.partitioner import HashPartitioner
-
-#: transport name -> fabric name on the cluster
-TRANSPORT_FABRICS = {"socket": "ipoib", "rdma": "ib-fdr-rdma"}
 
 #: sample size for record-size estimation
 _SAMPLE = 20
@@ -315,7 +314,7 @@ class ShuffleReader:
         """Fetch this reduce partition's bucket from every map output."""
         costs = self.env.costs
         transport = self.env.shuffle_transport
-        fabric = TRANSPORT_FABRICS[transport]
+        fabric = self.env.shuffle_fabric
         fetch_overhead = (costs.spark_shuffle_fetch_overhead
                           if transport == "socket"
                           else costs.spark_shuffle_fetch_overhead_rdma)

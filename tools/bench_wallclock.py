@@ -59,14 +59,17 @@ SEED_WALL = {
 }
 
 
-def host_metadata() -> dict:
+def host_metadata(machine: str = "comet") -> dict:
     """CPU model, core count and RAM of the benchmarking host.
 
     Best-effort from ``/proc``; fields are ``None`` where the platform
     does not expose them.  Recorded so committed baselines carry the
-    hardware they were measured on.
+    hardware they were measured on — plus the *simulated* machine model
+    (``machine``) the workloads ran against, so baselines measured on
+    different machine models are never compared by accident.
     """
     meta: dict = {"python": sys.version.split()[0],
+                  "machine": machine,
                   "cores": os.cpu_count(), "cpu_model": None,
                   "ram_bytes": None}
     try:
@@ -86,7 +89,7 @@ def host_metadata() -> dict:
     return meta
 
 
-def _cold_vs_warm(repeat: int) -> dict:
+def _cold_vs_warm(repeat: int, machine: str = "comet") -> dict:
     """Cold-vs-warm artifact-cache differential on a mini Fig 4.
 
     Runs fig4_mini through the driver twice against a throwaway store:
@@ -102,7 +105,8 @@ def _cold_vs_warm(repeat: int) -> dict:
     from repro.platform import run_suite
 
     overrides = {"fig4": {"proc_counts": (8, 16),
-                          "logical_size": 8 * 10**9}}
+                          "logical_size": 8 * 10**9,
+                          "machine": machine}}
     colds, warms = [], []
     result = None
     for _ in range(repeat):
@@ -142,22 +146,24 @@ def _cold_vs_warm(repeat: int) -> dict:
     }
 
 
-def _intra_suite(exp_id: str, intra_workers: int):
+def _intra_suite(exp_id: str, intra_workers: int, machine: str):
     from repro.platform import run_suite
 
-    suite = run_suite([exp_id], intra_workers=intra_workers)
+    suite = run_suite([exp_id], intra_workers=intra_workers,
+                      overrides={exp_id: {"machine": machine}})
     return suite.results[exp_id]
 
 
 WORKLOADS = {
-    "fig3": lambda: figures.fig3(),
-    "table2": lambda: figures.table2(),
-    "fig4_mini": lambda: figures.fig4(proc_counts=(8, 16),
-                                      logical_size=8 * 10**9),
-    "fig4": lambda: figures.fig4(),
-    "fig6": lambda: figures.fig6(),
-    "fig6_intra": lambda: _intra_suite("fig6", 3),
-    "fig7": lambda: figures.fig7(),
+    "fig3": lambda machine: figures.fig3(machine=machine),
+    "table2": lambda machine: figures.table2(machine=machine),
+    "fig4_mini": lambda machine: figures.fig4(proc_counts=(8, 16),
+                                              logical_size=8 * 10**9,
+                                              machine=machine),
+    "fig4": lambda machine: figures.fig4(machine=machine),
+    "fig6": lambda machine: figures.fig6(machine=machine),
+    "fig6_intra": lambda machine: _intra_suite("fig6", 3, machine),
+    "fig7": lambda machine: figures.fig7(machine=machine),
     # special-cased in run_workload: times two legs, not one callable
     "cold_vs_warm": None,
 }
@@ -165,16 +171,17 @@ WORKLOADS = {
 DEFAULT_OUT = REPO_ROOT / "benchmarks" / "results" / "BENCH_sim.json"
 
 
-def run_workload(name: str, *, repeat: int = 1) -> dict:
+def run_workload(name: str, *, repeat: int = 1,
+                 machine: str = "comet") -> dict:
     """Run one workload ``repeat`` times; report the best wall time."""
     if name == "cold_vs_warm":
-        return _cold_vs_warm(repeat)
+        return _cold_vs_warm(repeat, machine)
     fn = WORKLOADS[name]
     walls = []
     result = None
     for _ in range(repeat):
         t0 = time.perf_counter()
-        result = fn()
+        result = fn(machine)
         walls.append(time.perf_counter() - t0)
     wall = min(walls)
     return {
@@ -209,6 +216,10 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--scalar", action="store_true",
                     help="disable the columnar record-block kernels "
                          "(REPRO_SPARK_SCALAR=1)")
+    ap.add_argument("--machine", default="comet", metavar="NAME",
+                    help="simulated machine model to benchmark on (default: "
+                         "comet; non-default machines produce different "
+                         "fingerprints, so don't --compare across machines)")
     ap.add_argument("--compare", action="store_true",
                     help="compare against the committed results instead of "
                          "writing: report per-workload wall ratio and diff "
@@ -224,6 +235,14 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--out", type=Path, default=DEFAULT_OUT,
                     help=f"output JSON path (default: {DEFAULT_OUT})")
     args = ap.parse_args(argv)
+
+    from repro.cluster import get_machine
+    from repro.errors import ConfigurationError
+
+    try:
+        get_machine(args.machine)
+    except ConfigurationError as exc:
+        ap.error(str(exc))
 
     if args.slowpath:
         os.environ["REPRO_SIM_SLOWPATH"] = "1"
@@ -252,7 +271,8 @@ def main(argv: list[str] | None = None) -> int:
         "data_plane": "nofuse" if args.nofuse else "fused",
         "record_blocks": "scalar" if args.scalar else "blocks",
         "python": sys.version.split()[0],
-        "host": host_metadata(),
+        "machine": args.machine,
+        "host": host_metadata(args.machine),
         "workloads": {},
     }
     print(f"scheduler: {out['scheduler']}  data plane: {out['data_plane']}"
@@ -261,9 +281,11 @@ def main(argv: list[str] | None = None) -> int:
     print(f"host: {host['cpu_model'] or 'unknown CPU'}, "
           f"{host['cores']} cores, "
           + (f"{host['ram_bytes'] / 2**30:.1f} GiB RAM"
-             if host["ram_bytes"] else "RAM unknown"))
+             if host["ram_bytes"] else "RAM unknown")
+          + f"  machine model: {args.machine}")
     for name in names:
-        entry = run_workload(name, repeat=args.repeat)
+        entry = run_workload(name, repeat=args.repeat,
+                             machine=args.machine)
         out["workloads"][name] = entry
         print(f"  {name:10s} {entry['wall_s']:8.3f}s   "
               f"seed {entry['seed_wall_s']:6.2f}s   "

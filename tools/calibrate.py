@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Calibrate the software cost model against the paper's published values.
+
+Runs the anchor set of :mod:`repro.analysis.calibrate` — the points where
+the paper prints (Table II) or plots (Fig 3) an absolute number — on a
+named machine model and reports the log10 residuals as JSON::
+
+    PYTHONPATH=src python tools/calibrate.py                  # evaluate Comet
+    PYTHONPATH=src python tools/calibrate.py --machine commodity-eth
+    PYTHONPATH=src python tools/calibrate.py --out results/calibration.json
+    PYTHONPATH=src python tools/calibrate.py --fit            # coordinate descent
+    PYTHONPATH=src python tools/calibrate.py --check          # CI gate
+
+``--check`` verifies the default Comet calibration's per-figure RMS stays
+under the pinned bounds (``repro.analysis.calibrate.CHECK_BOUNDS``) and
+exits 1 otherwise — the guard that cost-model edits don't silently drift
+the simulator away from the paper.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.calibrate import CHECK_BOUNDS, evaluate, fit  # noqa: E402
+from repro.cluster import get_machine  # noqa: E402
+from repro.errors import ConfigurationError  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--machine", default="comet", metavar="NAME",
+                    help="machine model to evaluate on (default: comet)")
+    ap.add_argument("--out", type=Path, default=None, metavar="FILE",
+                    help="write the JSON report here instead of stdout")
+    ap.add_argument("--fit", action="store_true",
+                    help="also run the small coordinate-descent fit and "
+                         "report fitted vs default cost parameters")
+    ap.add_argument("--check", action="store_true",
+                    help="gate mode: fail (exit 1) if the default Comet "
+                         "calibration breaches the pinned per-figure RMS "
+                         "bounds")
+    args = ap.parse_args(argv)
+
+    try:
+        get_machine(args.machine)
+    except ConfigurationError as exc:
+        ap.error(str(exc))
+
+    if args.check and args.machine != "comet":
+        ap.error("--check gates the default Comet calibration; "
+                 "drop --machine")
+
+    report = fit(args.machine) if args.fit else evaluate(args.machine)
+    evaluation = report["evaluation"] if args.fit else report
+    if args.check:
+        report = dict(report, check_bounds=CHECK_BOUNDS)
+
+    text = json.dumps(report, indent=1)
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(text + "\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        print(text)
+
+    for fig, entry in sorted(evaluation["figures"].items()):
+        print(f"{fig:10s} rms(log10) {entry['rms_log10']:.3f} "
+              f"over {entry['anchors']} anchor(s)", file=sys.stderr)
+    print(f"{'overall':10s} rms(log10) "
+          f"{evaluation['overall_rms_log10']:.3f}", file=sys.stderr)
+
+    if not args.check:
+        return 0
+    failures = []
+    for fig, bound in sorted(CHECK_BOUNDS.items()):
+        got = evaluation["figures"].get(fig)
+        if got is None:
+            failures.append(f"{fig}: no anchors evaluated")
+        elif got["rms_log10"] > bound:
+            failures.append(f"{fig}: rms(log10) {got['rms_log10']:.3f} "
+                            f"exceeds bound {bound}")
+    for line in failures:
+        print(f"CALIBRATION DRIFT  {line}", file=sys.stderr)
+    if not failures:
+        print(f"calibration check ok ({len(CHECK_BOUNDS)} figures within "
+              "bounds)", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
