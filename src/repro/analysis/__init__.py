@@ -4,7 +4,7 @@ Every figure and table in this reproduction rests on one invariant: a
 simulation's outputs are a pure function of its inputs — bit-identical
 across the scheduler fast/slow paths, the fused/no-fuse data planes and the
 sharded driver.  This package enforces that invariant *before* a golden
-fingerprint can drift, with two engines:
+fingerprint can drift, with three engines:
 
 * :mod:`repro.analysis.lint` — **reprolint**, an AST-based determinism
   linter with rules tuned to this codebase (wall-clock reads, unseeded
@@ -20,7 +20,16 @@ fingerprint can drift, with two engines:
   accesses — TSan for the simulated concurrency.  Run it with
   ``python -m repro.analysis race fig3 --quick``.
 
-Both are also reachable through ``python -m repro analyze ...``.
+* :mod:`repro.analysis.sanitize` — a **communication sanitizer** over the
+  same hb traces: MUST-style collective matching (same sequence,
+  compatible roots/datatypes/party counts on every rank), lock-order
+  analysis (potential ABBA inversions, not just manifested ones) and
+  wait-for-graph deadlock diagnosis (the engine side names the actual
+  cycle; the MPI p2p layer detects the classic large-payload send/send
+  trap before it wedges).  Run it with
+  ``python -m repro.analysis sanitize fig3 --quick``.
+
+All are also reachable through ``python -m repro analyze ...``.
 """
 
 from repro.analysis.lint import (  # noqa: F401
@@ -37,8 +46,18 @@ from repro.analysis.races import (  # noqa: F401
     RaceReport,
     check_trace,
 )
+from repro.analysis.sanitize import (  # noqa: F401
+    CollEntry,
+    SanitizeReport,
+    Violation,
+    check_collectives,
+    check_lock_order,
+    check_traces,
+)
 from repro.analysis.scenarios import (  # noqa: F401
     RACE_SCENARIOS,
+    SANITIZE_SCENARIOS,
     capabilities,
     run_race_scenario,
+    run_sanitize_scenario,
 )

@@ -4,9 +4,10 @@
 
     python -m repro.analysis lint src/ [--format=text|json]
     python -m repro.analysis race fig3 [--quick] [--format=text|json]
+    python -m repro.analysis sanitize fig3 [--quick] [--format=text|json]
 
-Exit codes: 0 — clean; 1 — findings/races reported; 2 — usage or
-analysis error.  ``python -m repro analyze ...`` forwards here.
+Exit codes: 0 — clean; 1 — findings/races/violations reported; 2 — usage
+or analysis error.  ``python -m repro analyze ...`` forwards here.
 """
 
 from __future__ import annotations
@@ -38,9 +39,21 @@ def _cmd_race(args: argparse.Namespace) -> int:
     return 0 if report.clean else 1
 
 
+def _cmd_sanitize(args: argparse.Namespace) -> int:
+    from repro.analysis.scenarios import run_sanitize_scenario
+
+    report = run_sanitize_scenario(args.experiment, quick=args.quick)
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.describe())
+    return 0 if report.clean else 1
+
+
 def build_parser(prog: str = "repro.analysis") -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        prog=prog, description="determinism linter + race checker")
+        prog=prog,
+        description="determinism linter + race checker + comm sanitizer")
     sub = parser.add_subparsers(dest="command", required=True)
 
     lint = sub.add_parser(
@@ -58,6 +71,20 @@ def build_parser(prog: str = "repro.analysis") -> argparse.ArgumentParser:
                       help="CI-sized scenario parameters")
     race.add_argument("--format", choices=("text", "json"), default="text")
     race.set_defaults(fn=_cmd_race)
+
+    sanitize = sub.add_parser(
+        "sanitize",
+        help="run a traced scenario through the communication sanitizer")
+    sanitize.add_argument(
+        "experiment",
+        help="experiment id with a sanitize scenario (e.g. fig3), or a "
+             "planted-bug fixture (planted-root, planted-barrier, "
+             "planted-sendsend, planted-abba)")
+    sanitize.add_argument("--quick", action="store_true",
+                          help="CI-sized scenario parameters")
+    sanitize.add_argument("--format", choices=("text", "json"),
+                          default="text")
+    sanitize.set_defaults(fn=_cmd_sanitize)
     return parser
 
 

@@ -33,6 +33,8 @@ code        name              flags
                               (``os.listdir``, ``Path.iterdir``, ``glob`` ...)
 ``R010``    raw-thread        real ``threading``/``multiprocessing``/``asyncio``
                               concurrency outside ``repro/sim``
+``R011``    raw-park          direct ``proc.block()``/``park_until()`` outside
+                              ``repro/sim`` — bypasses wait-metadata bookkeeping
 ==========  ================  ====================================================
 
 Suppression
@@ -44,7 +46,7 @@ reviewed decision, not a region.
 
 Scope
 -----
-Determinism rules (R001–R004, R007–R010) apply inside the *deterministic
+Determinism rules (R001–R004, R007–R011) apply inside the *deterministic
 packages* — the code that runs under the virtual-time engine:
 ``sim``, ``cluster``, ``fs``, ``mpi``, ``openmp``, ``shmem``, ``spark``,
 ``mapreduce``, ``apps``, ``workloads``.  Hygiene rules (R005, R006) apply
@@ -95,6 +97,8 @@ RULES: dict[str, tuple[str, str]] = {
              "directory enumeration order is platform-dependent"),
     "R010": ("raw-thread",
              "real concurrency primitive outside the simulator core"),
+    "R011": ("raw-park",
+             "direct process park/block outside the simulator core"),
 }
 
 _NAME_TO_CODE = {name: code for code, (name, _) in RULES.items()}
@@ -115,6 +119,7 @@ ENV_REGISTRY: dict[str, str] = {
     "REPRO_SPARK_SCALAR": "repro/sim/blocks.py",
     "REPRO_CACHE_DIR": "repro/cache/store.py",
     "REPRO_NO_CACHE": "repro/cache/store.py",
+    "REPRO_SANITIZE": "repro/platform/scenario.py",
 }
 
 # Dotted call names that read the wall clock (R001).
@@ -405,6 +410,23 @@ class _Linter:
                 self._flag("R009", node,
                            f".{attr}() enumeration order is "
                            "platform-dependent; wrap it in sorted(...)")
+            # R011: parking a process directly skips the wait-metadata
+            # bookkeeping (waiting_on/wakers) the deadlock diagnoser and
+            # sanitizer rely on.  ``.block(reason=...)`` identifies the
+            # simulator primitive (other ``.block()`` methods in the tree
+            # take no such keyword); ``park_until`` exists only on
+            # SimProcess.
+            if not self.relpath.startswith("repro/sim/") \
+                    and (attr == "park_until"
+                         or (attr == "block"
+                             and any(kw.arg == "reason"
+                                     for kw in node.keywords))):
+                self._flag("R011", node,
+                           f".{attr}() parks a simulated process directly; "
+                           "outside repro/sim use the synchronization "
+                           "primitives (Mailbox/Future/SimBarrier/SimLock) "
+                           "or pass wait metadata and suppress with a "
+                           "pragma after review")
 
         if self.deterministic and isinstance(node.func, ast.Name):
             fname = node.func.id

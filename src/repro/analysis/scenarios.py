@@ -20,16 +20,17 @@ reports that per experiment for ``python -m repro list --json``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.errors import AnalysisError
+from repro.errors import AnalysisError, DeadlockError
 from repro.platform import Dataset, HDFSSpec, ScenarioSpec
 from repro.sim.trace import Trace
 from repro.units import KiB
 
 __all__ = ["RaceScenario", "RACE_SCENARIOS", "run_race_scenario",
-           "capabilities"]
+           "SanitizeRun", "SanitizeScenario", "SANITIZE_SCENARIOS",
+           "run_sanitize_scenario", "capabilities"]
 
 
 @dataclass(frozen=True)
@@ -169,6 +170,180 @@ def run_race_scenario(exp_id: str, *, quick: bool = False):
     return merged
 
 
+@dataclass
+class SanitizeRun:
+    """What one sanitize scenario produced.
+
+    ``deadlocks`` carries :class:`~repro.errors.DeadlockError` diagnostics
+    the scenario caught while running (planted-deadlock fixtures wedge by
+    design; their partial traces are still checked).
+    """
+
+    traces: list[Trace]
+    deadlocks: list[str] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class SanitizeScenario:
+    """A traced scenario for ``python -m repro analyze sanitize``.
+
+    Every figure with a race scenario reuses that scenario's workload (the
+    same traces feed both checkers); the ``planted-*`` entries are
+    deliberate-bug fixtures proving each sanitizer checker bites.
+    """
+
+    exp_id: str
+    description: str
+    run: Callable[[bool], "SanitizeRun"]
+
+
+def _sanitize_figure(run_fn: Callable[[bool], list[Trace]]
+                     ) -> Callable[[bool], SanitizeRun]:
+    def run(quick: bool) -> SanitizeRun:
+        return SanitizeRun(run_fn(quick))
+    return run
+
+
+def _planted_root(quick: bool) -> SanitizeRun:
+    """Planted bug: ranks disagree on the reduce root (MUST classic).
+
+    Every rank names itself-mod-2 as the root, so the binomial trees
+    interlock: each rank's first protocol step is a receive, and the job
+    wedges.  The collective checker flags the root mismatch from the
+    entry events; the engine reports the wait-for cycle.
+    """
+    s = _session(1, 4)
+
+    def main(comm):
+        return comm.reduce(comm.rank, root=comm.rank % 2)
+
+    deadlocks = []
+    try:
+        s.mpi(main)
+    except DeadlockError as exc:
+        deadlocks.append(str(exc))
+    return SanitizeRun([s.trace], deadlocks)
+
+
+def _planted_barrier(quick: bool) -> SanitizeRun:
+    """Planted bug: a barrier declared for 4 parties gets only 3 entrants."""
+    from repro.sim.engine import current_process
+    from repro.sim.sync import SimBarrier
+
+    s = _session(1, 4)
+    bar = SimBarrier(4, name="planted")
+
+    def party() -> None:
+        bar.wait(current_process())
+
+    for i in range(3):
+        s.cluster.spawn(party, node_id=0, name=f"party{i}")
+    deadlocks = []
+    try:
+        s.cluster.run()
+    except DeadlockError as exc:
+        deadlocks.append(str(exc))
+    return SanitizeRun([s.trace], deadlocks)
+
+
+def _planted_sendsend(quick: bool) -> SanitizeRun:
+    """Planted bug: two blocking large sends at each other (rendezvous trap).
+
+    Both payloads exceed the eager threshold, so each send waits for a
+    clear-to-send only its peer could grant.  The p2p-layer detector
+    diagnoses the cycle before the engine has to."""
+    s = _session(1, 2)
+    payload = b"x" * (64 * KiB)
+
+    def main(comm):
+        other = 1 - comm.rank
+        comm.send(payload, other)
+        return comm.recv(other)
+
+    deadlocks = []
+    try:
+        s.mpi(main)
+    except DeadlockError as exc:
+        deadlocks.append(str(exc))
+    return SanitizeRun([s.trace], deadlocks)
+
+
+def _planted_abba(quick: bool) -> SanitizeRun:
+    """Planted bug: ABBA lock order that happens not to deadlock this run.
+
+    The second process starts after the first released both locks, so the
+    run completes — only the lock-*order* analysis can catch the latent
+    inversion."""
+    from repro.sim.engine import current_process
+    from repro.sim.sync import SimLock
+
+    s = _session(1, 2)
+    lock_a = SimLock("A")
+    lock_b = SimLock("B")
+
+    def first() -> None:
+        proc = current_process()
+        lock_a.acquire(proc)
+        lock_b.acquire(proc)
+        lock_b.release(proc)
+        lock_a.release(proc)
+
+    def second() -> None:
+        proc = current_process()
+        proc.compute(1.0)  # disjoint in virtual time: never actually wedges
+        lock_b.acquire(proc)
+        lock_a.acquire(proc)
+        lock_a.release(proc)
+        lock_b.release(proc)
+
+    s.cluster.spawn(first, node_id=0, name="abba0")
+    s.cluster.spawn(second, node_id=0, name="abba1")
+    s.cluster.run()
+    return SanitizeRun([s.trace])
+
+
+#: experiment id -> its sanitize scenario (figures + planted-bug fixtures)
+SANITIZE_SCENARIOS: dict[str, SanitizeScenario] = {
+    **{
+        exp_id: SanitizeScenario(exp_id, rs.description,
+                                 _sanitize_figure(rs.run))
+        for exp_id, rs in RACE_SCENARIOS.items()
+    },
+    "planted-root": SanitizeScenario(
+        "planted-root", "planted bug: mismatched reduce root",
+        _planted_root),
+    "planted-barrier": SanitizeScenario(
+        "planted-barrier", "planted bug: dropped barrier party",
+        _planted_barrier),
+    "planted-sendsend": SanitizeScenario(
+        "planted-sendsend", "planted bug: blocking send/send cycle",
+        _planted_sendsend),
+    "planted-abba": SanitizeScenario(
+        "planted-abba", "planted bug: ABBA lock order (latent)",
+        _planted_abba),
+}
+
+
+def run_sanitize_scenario(exp_id: str, *, quick: bool = False):
+    """Run one sanitize scenario and check its traces.
+
+    Returns a :class:`~repro.analysis.sanitize.SanitizeReport` merging the
+    collective-matching and lock-order checkers over every trace the
+    scenario produced, plus any captured deadlock diagnostics.
+    """
+    from repro.analysis.sanitize import check_traces
+
+    try:
+        scenario = SANITIZE_SCENARIOS[exp_id]
+    except KeyError:
+        raise AnalysisError(
+            f"no sanitize scenario for {exp_id!r}; have "
+            f"{sorted(SANITIZE_SCENARIOS)} (host-side experiments like "
+            "table1/table3 run no simulated processes)") from None
+    run = scenario.run(quick)
+    return check_traces(run.traces, deadlocks=run.deadlocks)
+
+
 #: experiments that are host-side computations (no simulated processes)
 _UNTRACEABLE = frozenset({"table1", "table3"})
 
@@ -179,6 +354,8 @@ def capabilities(exp_id: str) -> dict[str, bool]:
     ``trace``: the experiment runs simulated processes, so a traced
     session can observe it.  ``race_check``: a :data:`RACE_SCENARIOS`
     entry exists for ``python -m repro analyze race <id>``.
+    ``sanitize``: a :data:`SANITIZE_SCENARIOS` entry exists for
+    ``python -m repro analyze sanitize <id>``.
     ``fault_injection``: the experiment takes a ``faults`` knob, so
     ``python -m repro run <id> --faults`` injects its fault plans
     (:mod:`repro.faults`).
@@ -197,5 +374,6 @@ def capabilities(exp_id: str) -> dict[str, bool]:
     return {
         "trace": exp_id not in _UNTRACEABLE,
         "race_check": exp_id in RACE_SCENARIOS,
+        "sanitize": exp_id in SANITIZE_SCENARIOS,
         "fault_injection": fault_injection,
     }

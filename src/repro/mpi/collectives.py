@@ -34,6 +34,7 @@ from typing import TYPE_CHECKING
 from repro.mpi import p2p
 from repro.mpi.datatypes import ReduceOp, SUM, nbytes_of
 from repro.sim.engine import current_process
+from repro.sim.trace import call_site
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.mpi.comm import Communicator
@@ -58,8 +59,46 @@ def _charge_combine(comm: "Communicator", obj: Any) -> None:
     )
 
 
+#: sentinel distinguishing "no data argument" from a literal ``None`` payload
+_NO_DATA = object()
+
+
+def _dtype_of(obj: Any) -> str:
+    """Coarse datatype tag for collective-matching (sanitizer).
+
+    Numeric scalars collapse to one tag — Python ints, floats and NumPy
+    scalars mix freely in the built-in reduction ops, so flagging ``int``
+    vs ``np.int64`` across ranks would be a false positive.
+    """
+    if getattr(obj, "ndim", None):
+        return f"ndarray[{obj.dtype}]"
+    if isinstance(obj, (bool, int, float, complex)) or hasattr(obj, "dtype"):
+        return "scalar"
+    return type(obj).__name__
+
+
+def _enter(comm: "Communicator", op: str, p: int, *, root: int | None = None,
+           obj: Any = _NO_DATA) -> None:
+    """Record this rank's collective entry for the sanitizer (hb mode only).
+
+    ``root`` and ``obj`` (-> datatype) are passed only where the matching
+    contract constrains them: broadcast-shaped collectives legitimately
+    take data at the root only, so no dtype is recorded for them.
+    """
+    proc = current_process()
+    trace = proc.engine.trace
+    if not (trace.enabled and trace.hb):
+        return
+    trace.coll(
+        proc, op, f"mpi:ctx{comm.ctx}", parties=p, root=root,
+        dtype=None if obj is _NO_DATA else _dtype_of(obj),
+        site=call_site(("repro/sim/", "repro/mpi/")),
+    )
+
+
 def barrier(comm: "Communicator", me: int, p: int) -> None:
     """Dissemination barrier: ceil(log2 p) rounds of pairwise notifications."""
+    _enter(comm, "barrier", p)
     if p == 1:
         current_process().checkpoint()
         return
@@ -74,6 +113,7 @@ def barrier(comm: "Communicator", me: int, p: int) -> None:
 
 def bcast(comm: "Communicator", me: int, p: int, obj: Any, root: int) -> Any:
     """Binomial-tree broadcast; returns the object on every rank."""
+    _enter(comm, "bcast", p, root=root)
     vrank = (me - root) % p
     # receive phase: wait for the parent in the binomial tree
     mask = 1
@@ -97,6 +137,7 @@ def reduce(
     comm: "Communicator", me: int, p: int, obj: Any, op: ReduceOp, root: int
 ) -> Any:
     """Binomial-tree reduction; result is returned at ``root`` (None elsewhere)."""
+    _enter(comm, "reduce", p, root=root, obj=obj)
     vrank = (me - root) % p
     acc = obj
     mask = 1
@@ -118,6 +159,7 @@ def reduce(
 
 def allreduce(comm: "Communicator", me: int, p: int, obj: Any, op: ReduceOp) -> Any:
     """Recursive-doubling allreduce with pre/post folding for non-powers of 2."""
+    _enter(comm, "allreduce", p, obj=obj)
     if p == 1:
         current_process().checkpoint()
         return obj
@@ -161,6 +203,7 @@ def allreduce(comm: "Communicator", me: int, p: int, obj: Any, op: ReduceOp) -> 
 
 def gather(comm: "Communicator", me: int, p: int, obj: Any, root: int) -> list | None:
     """Linear gather; returns the rank-ordered list at ``root``."""
+    _enter(comm, "gather", p, root=root)
     if me != root:
         p2p.send(comm, me, root, obj, _T_GATHER)
         return None
@@ -174,6 +217,7 @@ def gather(comm: "Communicator", me: int, p: int, obj: Any, root: int) -> list |
 
 def scatter(comm: "Communicator", me: int, p: int, objs: list | None, root: int) -> Any:
     """Linear scatter of ``objs[i]`` to rank ``i``."""
+    _enter(comm, "scatter", p, root=root)
     if me == root:
         if objs is None or len(objs) != p:
             raise ValueError(f"scatter at root needs a list of length {p}")
@@ -187,6 +231,7 @@ def scatter(comm: "Communicator", me: int, p: int, objs: list | None, root: int)
 
 def allgather(comm: "Communicator", me: int, p: int, obj: Any) -> list:
     """Ring allgather: p-1 rounds, each forwarding the newest block."""
+    _enter(comm, "allgather", p)
     out: list[Any] = [None] * p
     out[me] = obj
     if p == 1:
@@ -205,6 +250,7 @@ def allgather(comm: "Communicator", me: int, p: int, obj: Any) -> list:
 
 def alltoall(comm: "Communicator", me: int, p: int, objs: list) -> list:
     """Pairwise-exchange alltoall: ``objs[i]`` goes to rank ``i``."""
+    _enter(comm, "alltoall", p)
     if len(objs) != p:
         raise ValueError(f"alltoall needs a list of length {p}")
     out: list[Any] = [None] * p
@@ -224,6 +270,7 @@ def scan(comm: "Communicator", me: int, p: int, obj: Any, op: ReduceOp) -> Any:
     rank sends its running value to ``me + 2^k`` and folds in the value
     from ``me - 2^k`` — the standard implementation shape.
     """
+    _enter(comm, "scan", p, obj=obj)
     acc = obj
     k = 1
     while k < p:
@@ -240,6 +287,7 @@ def scan(comm: "Communicator", me: int, p: int, obj: Any, op: ReduceOp) -> Any:
 def exscan(comm: "Communicator", me: int, p: int, obj: Any, op: ReduceOp) -> Any:
     """Exclusive prefix reduction (``MPI_Exscan``): rank ``i`` receives
     ``op(obj_0, ..., obj_{i-1})``; rank 0 receives ``None``."""
+    _enter(comm, "exscan", p, obj=obj)
     inclusive = scan(comm, me, p, obj, op)
     # shift right by one rank: rank i hands its inclusive value to i+1
     if me + 1 < p:
@@ -258,6 +306,7 @@ def reduce_scatter_block(
     Implemented as pairwise alltoall + local combine — the pattern the MPI
     PageRank benchmark uses to exchange rank contributions.
     """
+    _enter(comm, "reduce_scatter_block", p, obj=objs)
     mine = alltoall(comm, me, p, objs)
     acc = mine[0]
     for x in mine[1:]:

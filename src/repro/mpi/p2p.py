@@ -18,9 +18,12 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any
 
+from repro.errors import DeadlockError
 from repro.mpi.datatypes import copy_payload, nbytes_of
 from repro.sim.engine import current_process
+from repro.sim.process import ProcState, SimProcess
 from repro.sim.sync import Future, Message
+from repro.sim.trace import call_site
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.mpi.comm import Communicator
@@ -31,6 +34,53 @@ _RTS_BYTES = 64
 
 def _node(comm: "Communicator", rank: int) -> int:
     return comm.env.node_of_rank(comm.world_rank(rank))
+
+
+def _rank_proc(comm: "Communicator", rank: int) -> SimProcess | None:
+    """The process driving comm-local ``rank``, if known (diagnostics only)."""
+    world = comm.world_rank(rank)
+    procs = comm.env.procs
+    return procs[world] if world < len(procs) else None
+
+
+def _check_sendsend(
+    comm: "Communicator", proc: SimProcess, src: int, dest: int,
+    size: int, dest_proc: SimProcess | None,
+) -> None:
+    """Diagnose the classic large-payload send/send cycle *before* wedging.
+
+    We are about to block on ``dest``'s clear-to-send.  If ``dest`` is
+    already blocked on a CTS that only *we* can grant (its rendezvous send
+    targets us), and its request-to-send sits undelivered in our mailbox
+    with no receiver registered, neither side can ever progress — the
+    eager-vs-rendezvous trap of two blocking sends at each other.  Raising
+    here (instead of letting the engine detect the wedge later) lets the
+    report name the protocol, both ranks and the fix.
+    """
+    if dest_proc is None or dest_proc.state is not ProcState.BLOCKED:
+        return
+    pending = dest_proc.wait_obj
+    if not (isinstance(pending, Future) and pending.waker is proc
+            and pending.meta.get("kind") == "cts"):
+        return
+    counter_rts = comm.env.mailbox(comm.ctx, src).undelivered(
+        lambda m: (m.meta.get("kind") == "rts"
+                   and m.meta.get("msg_id") == pending.meta.get("msg_id"))
+    )
+    if not counter_rts:
+        return
+    threshold = comm.env.costs.mpi_eager_threshold
+    raise DeadlockError(
+        "MPI send/send cycle: two blocking rendezvous sends at each other\n"
+        f"  - rank {src} ({proc.name}) sends {size} B to rank {dest} "
+        f"at {call_site(('repro/sim/', 'repro/mpi/'))}\n"
+        f"  - rank {dest} ({dest_proc.name}) sends "
+        f"{pending.meta.get('nbytes')} B to rank {src} "
+        "and is already waiting for our clear-to-send\n"
+        f"  both payloads exceed the eager threshold ({threshold} B), so "
+        "each send blocks until the peer posts a receive that never comes; "
+        "use sendrecv, or isend/irecv, for pairwise exchanges"
+    )
 
 
 def send(
@@ -62,6 +112,12 @@ def send(
     # rendezvous: RTS -> wait CTS -> bulk transfer -> DATA
     cts = Future(f"cts:{src}->{dest}")
     msg_id = env.new_msg_id()
+    dest_proc = _rank_proc(comm, dest)
+    cts.waker = dest_proc
+    cts.meta = {
+        "kind": "cts", "src": src, "dest": dest, "ctx": comm.ctx,
+        "nbytes": size, "msg_id": msg_id,
+    }
     arrival = env.cluster.network.msg_arrival(
         proc, env.fabric, src_node, dst_node, _RTS_BYTES
     )
@@ -69,6 +125,7 @@ def send(
         proc, cts, arrival=arrival,
         src=src, tag=tag, kind="rts", msg_id=msg_id, nbytes=size,
     )
+    _check_sendsend(comm, proc, src, dest, size, dest_proc)
     cts.wait(proc)
     done = env.cluster.network.transmit(
         proc, env.fabric, src_node, dst_node, size,
@@ -102,7 +159,11 @@ def recv(
             return m.meta["tag"] >= 0
         return m.meta["tag"] == tag
 
-    msg = box.recv(proc, match, reason=f"mpi.recv(rank={me},src={source},tag={tag})")
+    msg = box.recv(
+        proc, match,
+        reason=f"mpi.recv(rank={me},src={source},tag={tag})",
+        waker=None if source is None else _rank_proc(comm, source),
+    )
     fab = env.cluster.spec.fabric(env.fabric)
     proc.compute(env.costs.mpi_per_call + fab.sw_overhead(msg.meta["nbytes"]))
     if msg.meta["kind"] == "eager":
@@ -114,6 +175,7 @@ def recv(
         proc,
         lambda m: m.meta.get("kind") == "data" and m.meta.get("msg_id") == msg_id,
         reason=f"mpi.recv-data(rank={me})",
+        waker=_rank_proc(comm, msg.meta["src"]),
     )
     return data.payload, msg.meta["src"], msg.meta["tag"]
 
@@ -214,7 +276,10 @@ def sendrecv(
             and m.meta["tag"] == tag
         )
 
-    msg = my_box.recv(proc, match, reason=f"mpi.sendrecv(rank={me})")
+    msg = my_box.recv(
+        proc, match, reason=f"mpi.sendrecv(rank={me})",
+        waker=None if source is None else _rank_proc(comm, source),
+    )
     fab = env.cluster.spec.fabric(env.fabric)
     proc.compute(env.costs.mpi_per_call + fab.sw_overhead(msg.meta["nbytes"]))
     if msg.meta["nbytes"] > env.costs.mpi_eager_threshold:

@@ -44,6 +44,15 @@ class _Team:
         self.max_arrival = 0.0
         self.release_time = 0.0
         self.sleepers: list = []
+        #: team threads in tid order, filled by :func:`omp_run`; used by
+        #: the deadlock diagnosis to name candidate wakers.
+        self.procs: list = []
+
+    def active_wakers(self, engine: Any, waiter: Any) -> list:
+        """Team threads that can still release the barrier (diagnostics):
+        everyone not already asleep at it."""
+        return [p for p in self.procs
+                if p is not waiter and not any(p is s for s in self.sleepers)]
 
 
 class OMP:
@@ -171,12 +180,17 @@ class OMP:
                 break
             if team.arrived == team.nthreads:
                 # everyone arrived but a later arrival exists: wait for it
-                proc.park_until(team.max_arrival, reason="omp.barrier-exit")
+                # (timed park, not a blocking wait — the task-aware barrier
+                # owns its protocol and parks directly)
+                proc.park_until(  # reprolint: disable=raw-park
+                    team.max_arrival, reason="omp.barrier-exit")
                 continue
             team.sleepers.append(proc)
-            proc.block(reason="omp.barrier")
+            proc.block(  # reprolint: disable=raw-park
+                reason="omp.barrier", obj=team, wakers=team.active_wakers)
         if team.release_time > proc.clock:
-            proc.park_until(team.release_time, reason="omp.barrier-exit")
+            proc.park_until(  # reprolint: disable=raw-park
+                team.release_time, reason="omp.barrier-exit")
 
     def critical(self, name: str = "") -> "_Critical":
         """``#pragma omp critical [name]`` — a context manager."""
@@ -300,7 +314,7 @@ def omp_run(
             f"{num_threads} threads exceed the node's {node.spec.cores} cores"
         )
     team = _Team(cluster, node_id, num_threads, costs)
-    procs = []
+    procs = team.procs
 
     def thread_main(tid: int) -> Any:
         proc = current_process()

@@ -36,6 +36,7 @@ again for the next measurement — the spec is the reusable artifact.
 from __future__ import annotations
 
 import dataclasses
+import os
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -48,6 +49,19 @@ from repro.cluster import (
 )
 from repro.errors import ConfigurationError
 from repro.sim.trace import Trace
+
+
+def sanitize_forced() -> bool:
+    """Resolved ``REPRO_SANITIZE`` hatch (this module is its home).
+
+    ``REPRO_SANITIZE=1`` forces hb instrumentation onto every session built
+    from a :class:`ScenarioSpec`, so the communication sanitizer's event
+    streams exist for any run without editing its spec.  Observational
+    only: the instrumentation never touches virtual time, so golden
+    fingerprints are byte-identical with the flag on or off (CI asserts
+    this).
+    """
+    return os.environ.get("REPRO_SANITIZE") == "1"
 
 
 @dataclass(frozen=True)
@@ -174,8 +188,8 @@ class Session:
                 f"scenario oversubscribes the node model: "
                 f"{spec.procs_per_node} processes/node on machine "
                 f"{self.machine.name!r} whose nodes have {node_cores} cores")
-        self.trace = (Trace(hb=spec.hb) if spec.trace or spec.hb
-                      else None)
+        hb = spec.hb or sanitize_forced()
+        self.trace = Trace(hb=hb) if spec.trace or hb else None
         self.cluster = Cluster(self.machine.with_nodes(spec.nodes),
                                trace=self.trace)
         # Arm fault plans before any datasets or runtimes exist so the

@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.sim.engine import current_process
+from repro.sim.trace import call_site
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.shmem.heap import SymmetricArray
@@ -17,6 +18,18 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 #: signal payload size (a flag write)
 _SIGNAL_BYTES = 8
+
+
+def _enter(pe: "PE", op: str, *, root: int | None = None) -> None:
+    """Record this PE's collective entry for the sanitizer (hb mode only)."""
+    proc = current_process()
+    trace = proc.engine.trace
+    if not (trace.enabled and trace.hb):
+        return
+    trace.coll(
+        proc, op, "shmem:world", parties=pe.n_pes, root=root,
+        site=call_site(("repro/sim/", "repro/shmem/")),
+    )
 
 
 def _signal(pe: "PE", dest: int, tag: str, round_: int) -> None:
@@ -38,11 +51,13 @@ def _wait_signal(pe: "PE", src: int, tag: str, round_: int) -> None:
         match=lambda m: (m.meta["tag"] == tag and m.meta["src"] == src
                          and m.meta["round"] == round_),
         reason=f"shmem.{tag}(pe={pe.my_pe})",
+        waker=env.procs[src] if src < len(env.procs) else None,
     )
 
 
 def barrier_all(pe: "PE") -> None:
     """Dissemination barrier over all PEs."""
+    _enter(pe, "barrier_all")
     proc = current_process()
     proc.compute(pe.env.costs.shmem_barrier_base)
     p = pe.n_pes
@@ -62,6 +77,7 @@ def broadcast(pe: "PE", sym: "SymmetricArray", root: int) -> None:
     Each non-root PE pulls from its tree parent once the parent signals that
     its copy is valid.
     """
+    _enter(pe, "broadcast", root=root)
     p = pe.n_pes
     vrank = (pe.my_pe - root) % p
     mask = 1
@@ -87,6 +103,7 @@ def sum_to_all(pe: "PE", sym: "SymmetricArray") -> None:
     Binomial-tree reduce onto PE 0 followed by a broadcast — the classic
     SHMEM reference implementation shape.
     """
+    _enter(pe, "sum_to_all")
     proc = current_process()
     p = pe.n_pes
     mask = 1
@@ -114,6 +131,8 @@ def collect(pe: "PE", sym: "SymmetricArray") -> "object":
     Implemented as an all-gather of gets after a barrier.
     """
     import numpy as np
+
+    _enter(pe, "collect")
 
     barrier_all(pe)
     parts = []

@@ -31,6 +31,9 @@ class ShmemEnv:
         self.signals = [Mailbox(f"shmem:pe{i}") for i in range(npes)]
         self.locks: dict[Any, SimLock] = {}
         self.pe_of_proc: dict[int, int] = {}
+        #: PE processes in PE order, filled by :func:`shmem_run`; used by
+        #: the deadlock diagnosis to name candidate wakers.
+        self.procs: list[SimProcess] = []
 
 
 @dataclass
@@ -258,7 +261,13 @@ class PE:
             proc._hb_join(sym.sync_vc(self.my_pe))
             return
         sym.add_waiter(self.my_pe, proc, pred)
-        proc.block(reason=f"shmem.wait_until(pe={self.my_pe})")
+        # Any other PE's put/atomic may satisfy the predicate, hence the
+        # broad waker set.  This primitive owns its blocking protocol
+        # (symmetric-heap waiter lists), so it parks directly.
+        proc.block(  # reprolint: disable=raw-park
+            reason=f"shmem.wait_until(pe={self.my_pe})", obj=sym,
+            wakers=lambda eng, waiter: [p for p in self.env.procs
+                                        if p is not waiter])
         proc._hb_join(sym.sync_vc(self.my_pe))
 
     # -- locks -----------------------------------------------------------------------------------
@@ -336,7 +345,7 @@ def shmem_run(
         pes_per_node = -(-npes // len(cluster.nodes))
     placement = cluster.placement(npes, pes_per_node)
     env = ShmemEnv(cluster, npes, placement, fabric, costs)
-    procs: list[SimProcess] = []
+    procs = env.procs
 
     def pe_main(idx: int) -> Any:
         proc = current_process()

@@ -66,7 +66,7 @@ from typing import Any, Callable, Iterable
 
 from repro.errors import DeadlockError, SimProcessError, SimulationError
 from repro.sim.process import ProcState, SimProcess
-from repro.sim.trace import Trace
+from repro.sim.trace import Trace, anchored_path
 
 _current: threading.local = threading.local()
 
@@ -148,6 +148,9 @@ class Engine:
         #: virtual time of the most recently scheduled process; monotone
         #: non-decreasing over interaction points.
         self.now = 0.0
+        #: counter handing out engine-unique ids to :class:`SimBarrier`
+        #: instances on first use (sanitizer identity; see ``sync.py``).
+        self._next_barrier_uid = 0
 
     # -- construction --------------------------------------------------------
 
@@ -301,6 +304,11 @@ class Engine:
             )
             if failed is not None:
                 self._abort()
+                if isinstance(failed.exception, DeadlockError):
+                    # A protocol-level detector (e.g. the MPI send/send-cycle
+                    # diagnostic) already produced the full diagnosis inside
+                    # the process; surface it unwrapped.
+                    raise failed.exception
                 raise SimProcessError(failed.name) from failed.exception
             proc = self._pop_min()
             if proc is None:
@@ -308,8 +316,11 @@ class Engine:
                     p for p in self.processes if p.state is ProcState.BLOCKED
                 ]
                 if blocked:
+                    # Diagnose before aborting: the abort unwinds the blocked
+                    # threads, destroying the frames the diagnosis inspects.
+                    msg = self._deadlock_message(blocked)
                     self._abort()
-                    raise DeadlockError(self._deadlock_message(blocked))
+                    raise DeadlockError(msg)
                 break  # everything DONE/FAILED
             if proc.clock > self.now:
                 self.now = proc.clock
@@ -334,8 +345,9 @@ class Engine:
                     p for p in self.processes if p.state is ProcState.BLOCKED
                 ]
                 if blocked:
+                    msg = self._deadlock_message(blocked)
                     self._abort()
-                    raise DeadlockError(self._deadlock_message(blocked))
+                    raise DeadlockError(msg)
                 break  # everything DONE/FAILED
             proc = min(runnable, key=lambda p: (p.clock, p.pid))
             self.now = max(self.now, proc.clock)
@@ -344,6 +356,8 @@ class Engine:
             self._yield_evt.wait()
             if proc.state is ProcState.FAILED and proc.exception is not None:
                 self._abort()
+                if isinstance(proc.exception, DeadlockError):
+                    raise proc.exception
                 raise SimProcessError(proc.name) from proc.exception
         return self.makespan()
 
@@ -398,10 +412,107 @@ class Engine:
         finally:
             self._aborting = False
 
+    # -- deadlock diagnosis ---------------------------------------------------
+    #
+    # Everything below runs only on the no-runnable-process path, after the
+    # simulation is already wedged — it reads diagnostic metadata the sync
+    # primitives left on each blocked process (``waiting_on``/``wait_obj``/
+    # ``wait_wakers``, see ``process.py``) and never mutates simulation
+    # state, so it cannot perturb outputs.
+
+    def _block_site(self, proc: SimProcess) -> str | None:
+        """Source location (``path:line``) where ``proc`` is blocked.
+
+        Walks the blocked thread's live frame stack past simulator-internal
+        and threading frames to the runtime/user frame that issued the wait.
+        The thread is parked on an Event while we look, so the stack is
+        stable.  Returns ``None`` when no frame can be attributed.
+        """
+        frame = sys._current_frames().get(proc._thread.ident)
+        while frame is not None:
+            path = anchored_path(frame.f_code.co_filename)
+            if not path.startswith("repro/sim/") and "threading" not in path:
+                return f"{path}:{frame.f_lineno}"
+            frame = frame.f_back
+        return None
+
+    def _wait_edges(
+        self, blocked: list[SimProcess]
+    ) -> dict[int, list[int]]:
+        """Wait-for edges ``waiter pid -> [candidate waker pids]``.
+
+        Only edges whose target is itself blocked are kept — a waker that is
+        DONE/FAILED can never fire, and one that is RUNNABLE would
+        contradict the no-runnable premise.
+        """
+        in_set = {p.pid for p in blocked}
+        edges: dict[int, list[int]] = {}
+        for p in blocked:
+            wakers = p.wait_wakers
+            if callable(wakers):
+                try:
+                    wakers = wakers(self, p)
+                except Exception:  # diagnosis must never mask the deadlock
+                    wakers = ()
+            if wakers is None:
+                continue
+            pids = sorted({w.pid for w in wakers if w.pid in in_set})
+            if pids:
+                edges[p.pid] = pids
+        return edges
+
+    def _wait_cycle(self, blocked: list[SimProcess]) -> list[SimProcess]:
+        """One cycle in the wait-for graph, as processes, or ``[]``.
+
+        Iterative DFS with white/grey/black colouring over pids in sorted
+        order, so the reported cycle is deterministic.
+        """
+        edges = self._wait_edges(blocked)
+        by_pid = {p.pid: p for p in blocked}
+        color: dict[int, int] = {}  # absent=white, 1=grey, 2=black
+        for start in sorted(by_pid):
+            if color.get(start):
+                continue
+            stack = [start]
+            path: list[int] = []
+            while stack:
+                pid = stack[-1]
+                if color.get(pid) != 1:
+                    color[pid] = 1
+                    path.append(pid)
+                nxt = None
+                for q in edges.get(pid, ()):
+                    if color.get(q) == 1:
+                        return [by_pid[r] for r in path[path.index(q):]]
+                    if not color.get(q):
+                        nxt = q
+                        break
+                if nxt is None:
+                    color[pid] = 2
+                    path.pop()
+                    stack.pop()
+                else:
+                    stack.append(nxt)
+        return []
+
     def _deadlock_message(self, blocked: Iterable[SimProcess]) -> str:
+        blocked = list(blocked)
         lines = ["simulation deadlock: all live processes are blocked"]
         for p in blocked:
-            lines.append(
-                f"  - {p.name} (t={p.clock:.6g}) waiting on: {p.waiting_on or '?'}"
+            since = (
+                f" since t={p.waiting_since:.6g}"
+                if p.waiting_since is not None else ""
             )
+            site = self._block_site(p)
+            at = f" at {site}" if site else ""
+            lines.append(
+                f"  - {p.name} (pid {p.pid}, t={p.clock:.6g}) "
+                f"waiting on {p.waiting_on or '?'}{since}{at}"
+            )
+        cycle = self._wait_cycle(blocked)
+        if cycle:
+            chain = " -> ".join(
+                f"{p.name} [{p.waiting_on or '?'}]" for p in cycle
+            )
+            lines.append(f"  wait-for cycle: {chain} -> {cycle[0].name}")
         return "\n".join(lines)

@@ -83,6 +83,15 @@ class SimProcess:
         self.exception: BaseException | None = None
         #: set when the process is blocked; shown in deadlock dumps
         self.waiting_on: str | None = None
+        #: blocking-edge metadata for the wait-for-graph deadlock diagnosis
+        #: (set by :meth:`block`, cleared on wake).  Pure diagnostics: never
+        #: read on the scheduling path, so filling it cannot change outputs.
+        #: ``wait_wakers`` is ``None`` (unknown), a tuple of processes, or a
+        #: callable ``(engine, waiter) -> iterable[SimProcess]`` evaluated
+        #: lazily when a deadlock is being diagnosed.
+        self.waiting_since: float | None = None
+        self.wait_obj: Any = None
+        self.wait_wakers: Any = None
         self._fn = fn
         self._args = args
         self._kwargs = kwargs
@@ -199,15 +208,25 @@ class SimProcess:
         self._park(ProcState.RUNNABLE)
         self.waiting_on = None
 
-    def block(self, *, reason: str) -> None:
+    def block(self, *, reason: str, obj: Any = None, wakers: Any = None) -> None:
         """Park with no scheduled wake; another process must call :meth:`_wake`.
 
         On return the clock has been set by the waker (never backwards).
+        ``obj`` names the primitive being waited on and ``wakers`` the
+        processes able to perform the wake (see the attribute docs in
+        ``__init__``) — both feed the wait-for-graph deadlock diagnosis
+        and are otherwise unused.
         """
         self._assert_current()
         self.waiting_on = reason
+        self.waiting_since = self.clock
+        self.wait_obj = obj
+        self.wait_wakers = wakers
         self._park(ProcState.BLOCKED)
         self.waiting_on = None
+        self.waiting_since = None
+        self.wait_obj = None
+        self.wait_wakers = None
 
     # -- happens-before bookkeeping (hb mode only) ---------------------------
 

@@ -17,6 +17,7 @@ from typing import Any, Callable
 
 from repro.errors import SimulationError
 from repro.sim.process import ProcState, SimProcess
+from repro.sim.trace import call_site
 
 
 @dataclass
@@ -72,8 +73,14 @@ class Mailbox:
         match: Callable[[Message], bool] | None = None,
         *,
         reason: str | None = None,
+        waker: SimProcess | None = None,
     ) -> Message:
-        """Take the oldest matching message, blocking until one exists."""
+        """Take the oldest matching message, blocking until one exists.
+
+        ``waker`` optionally names the (sole) process expected to post the
+        matching message — a diagnostic hint for the wait-for-graph deadlock
+        analysis, never consulted on the happy path.
+        """
         proc.checkpoint()
         if match is None:
             match = lambda _m: True  # noqa: E731
@@ -86,11 +93,21 @@ class Mailbox:
                 return msg
         slot: list[Message] = []
         self._waiters.append((proc, match, slot))
-        proc.block(reason=reason or f"recv:{self.name}")
+        proc.block(reason=reason or f"recv:{self.name}", obj=self,
+                   wakers=(waker,) if waker is not None else None)
         if not slot:
             raise SimulationError(f"{proc.name}: woken without a message")
         proc._hb_join(slot[0].vc)
         return slot[0]
+
+    def undelivered(self, match: Callable[[Message], bool]) -> bool:
+        """True if a queued message matches and no blocked receiver exists.
+
+        Diagnostic probe used by the send/send-cycle detector: such a
+        message can only be consumed by a *future* ``recv`` — if its
+        intended receiver is provably wedged, it never will be.
+        """
+        return not self._waiters and any(match(m) for m in self._queue)
 
     def try_recv(
         self, proc: SimProcess, match: Callable[[Message], bool] | None = None
@@ -126,10 +143,18 @@ class SimBarrier:
         self.name = name
         self._arrived: list[SimProcess] = []
         self._generation = 0
+        #: engine-unique id assigned on first wait, so two barriers that
+        #: share a display name are still distinct to the sanitizer.
+        self._uid: int | None = None
         #: release snapshots of the already-arrived parties (hb mode); the
         #: completing process joins them all, so every party's pre-barrier
         #: work happens-before every party's post-barrier work.
         self._vcs: list[dict[int, int]] = []
+
+    def _pending_wakers(self, engine: Any, waiter: SimProcess) -> list[SimProcess]:
+        """Processes that could still complete this barrier (diagnostics)."""
+        return [p for p in engine.processes
+                if p.alive and not any(p is a for a in self._arrived)]
 
     def wait(self, proc: SimProcess, extra_cost: float = 0.0) -> int:
         """Enter the barrier; returns the barrier generation just completed.
@@ -137,6 +162,13 @@ class SimBarrier:
         ``extra_cost`` is added to the release time (per-barrier overhead).
         """
         proc.checkpoint()
+        trace = proc.engine.trace
+        if trace is not None and trace.enabled and trace.hb:
+            if self._uid is None:
+                self._uid = proc.engine._next_barrier_uid
+                proc.engine._next_barrier_uid += 1
+            trace.coll(proc, "barrier", f"barrier:{self.name}#{self._uid}",
+                       parties=self.parties, site=call_site())
         gen = self._generation
         self._arrived.append(proc)
         if len(self._arrived) == self.parties:
@@ -156,7 +188,8 @@ class SimBarrier:
             snap = proc._hb_release()
             if snap is not None:
                 self._vcs.append(snap)
-        proc.block(reason=f"barrier:{self.name}")
+        proc.block(reason=f"barrier:{self.name}", obj=self,
+                   wakers=self._pending_wakers)
         return gen
 
 
@@ -182,18 +215,32 @@ class SimLock:
     def held(self) -> bool:
         return self._holder is not None
 
+    def _holder_wakers(self, engine: Any, waiter: SimProcess) -> tuple:
+        """The current holder is the only process that can release (diagnostics)."""
+        return () if self._holder is None else (self._holder,)
+
+    def _trace_lock(self, proc: SimProcess, op: str) -> None:
+        """Record a ``lock.acquire``/``lock.release`` event (hb mode only)."""
+        trace = proc.engine.trace
+        if trace is not None and trace.enabled and trace.hb:
+            trace.record(proc.clock, proc.name, f"lock.{op}",
+                         lock=self.name, pid=proc.pid, site=call_site())
+
     def acquire(self, proc: SimProcess) -> None:
         """Block until the lock is free, then take it."""
         proc.checkpoint()
         if self._holder is None:
             self._holder = proc
             proc._hb_join(self._vc)
+            self._trace_lock(proc, "acquire")
             return
         if self._holder is proc:
             raise SimulationError(f"{proc.name}: lock {self.name!r} is not reentrant")
         self._waiters.append(proc)
-        proc.block(reason=f"lock:{self.name}")
+        proc.block(reason=f"lock:{self.name}", obj=self,
+                   wakers=self._holder_wakers)
         proc._hb_join(self._vc)
+        self._trace_lock(proc, "acquire")
 
     def release(self, proc: SimProcess) -> None:
         """Release; the longest-waiting process acquires at this instant."""
@@ -202,6 +249,7 @@ class SimLock:
             raise SimulationError(
                 f"{proc.name}: releasing lock {self.name!r} it does not hold"
             )
+        self._trace_lock(proc, "release")
         if proc.vc is not None:
             self._vc = proc._hb_release()
         if self._waiters:
@@ -224,6 +272,15 @@ class Future:
         self._waiters: list[SimProcess] = []
         #: resolver's release snapshot (hb mode); waiters join it
         self._vc: dict[int, int] | None = None
+        #: diagnostic hints set by protocol code (e.g. the MPI rendezvous
+        #: path): the process expected to resolve this future, and free-form
+        #: metadata the deadlock detectors can inspect.  Never read on the
+        #: happy path.
+        self.waker: SimProcess | None = None
+        self.meta: dict[str, Any] = {}
+
+    def _waker_wakers(self, engine: Any, waiter: SimProcess) -> tuple:
+        return () if self.waker is None else (self.waker,)
 
     @property
     def done(self) -> bool:
@@ -262,7 +319,8 @@ class Future:
         proc.checkpoint()
         if not self._done:
             self._waiters.append(proc)
-            proc.block(reason=f"future:{self.name}")
+            proc.block(reason=f"future:{self.name}", obj=self,
+                       wakers=self._waker_wakers)
         elif self._set_time > proc.clock:
             proc.park_until(self._set_time, reason=f"future:{self.name}")
         proc._hb_join(self._vc)

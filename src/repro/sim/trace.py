@@ -40,6 +40,7 @@ so golden fingerprints are untouched.
 from __future__ import annotations
 
 import math
+import sys
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator
 
@@ -47,6 +48,38 @@ from repro.errors import TraceSchemaError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.process import SimProcess
+
+
+def anchored_path(path: str) -> str:
+    """Anchor a filesystem path at the ``repro`` package root.
+
+    ``.../src/repro/mpi/p2p.py`` -> ``repro/mpi/p2p.py``; paths outside
+    the package keep their basename.  Stable across checkouts and hosts,
+    so source locations recorded in traces and diagnostics never leak the
+    machine's directory layout.
+    """
+    parts = path.replace("\\", "/").split("/")
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro":
+            return "/".join(parts[i:])
+    return parts[-1]
+
+
+def call_site(skip: tuple[str, ...] = ("repro/sim/",)) -> str:
+    """``path:line`` of the nearest caller outside the ``skip`` prefixes.
+
+    Used by the sanitizer's instrumentation points to attribute an event
+    (a collective entry, a lock acquisition) to the runtime or user frame
+    that issued it, rather than to the primitive's own implementation.
+    Frame walking is deterministic — it reads only code-object metadata.
+    """
+    frame = sys._getframe(1)
+    while frame is not None:
+        path = anchored_path(frame.f_code.co_filename)
+        if not path.startswith(skip):
+            return f"{path}:{frame.f_lineno}"
+        frame = frame.f_back
+    return "?"
 
 
 @dataclass(frozen=True)
@@ -169,6 +202,33 @@ class Trace:
             info["stop"] = stop
         info.update(detail)
         self.record(proc.clock, proc.name, f"mem.{op}", **info)
+
+    def coll(self, proc: "SimProcess", op: str, comm: str, *,
+             parties: int, root: int | None = None,
+             dtype: str | None = None, site: str | None = None) -> None:
+        """Record one collective entry for the sanitizer (hb mode only).
+
+        ``op`` names the collective (``"reduce"``, ``"barrier"``, ...);
+        ``comm`` identifies the communicator or barrier instance (e.g.
+        ``"mpi:ctx0"``, ``"barrier:phase#1"``); ``parties`` is the declared
+        participant count.  ``root``/``dtype`` are recorded only where the
+        collective's matching contract constrains them; ``site`` is the
+        caller's source location.  The collective-matching checker in
+        :mod:`repro.analysis.sanitize` replays these ``coll.enter`` events.
+        No-op unless this trace was built with ``hb=True``.
+        """
+        if not (self.enabled and self.hb):
+            return
+        info: dict[str, Any] = {
+            "op": op, "comm": comm, "pid": proc.pid, "parties": parties,
+        }
+        if root is not None:
+            info["root"] = root
+        if dtype is not None:
+            info["dtype"] = dtype
+        if site is not None:
+            info["site"] = site
+        self.record(proc.clock, proc.name, "coll.enter", **info)
 
     # -- query helpers -------------------------------------------------------
 

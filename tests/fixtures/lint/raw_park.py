@@ -1,0 +1,16 @@
+"""R011 fixture: parking a simulated process directly outside repro/sim."""
+
+
+def bad(proc, release):
+    proc.block(reason="custom-wait")                   # finding: R011
+    proc.park_until(release, reason="phase")           # finding: R011
+
+
+def reviewed(proc, team):
+    proc.block(reason="omp.barrier",  # reprolint: disable=raw-park
+               wakers=team.active_wakers)
+
+
+def unrelated(cache):
+    # a .block() method that is not the simulator primitive (no reason=)
+    return cache.block(4096)

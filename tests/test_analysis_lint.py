@@ -64,6 +64,16 @@ def test_raw_thread_rule():
     assert lint_fixture("raw_thread.py", "repro/sim/process.py") == []
 
 
+def test_raw_park_rule():
+    """R011 fires on direct parks in deterministic packages outside
+    repro/sim; the simulator core parks its own processes legitimately,
+    and generic .block() methods without the reason= keyword are not the
+    simulator primitive."""
+    findings = lint_fixture("raw_park.py", "repro/openmp/fixture.py")
+    assert codes(findings) == ["R011"] * 2
+    assert lint_fixture("raw_park.py", "repro/sim/sync.py") == []
+
+
 def test_env_hatch_rule():
     # linted as a spark module: the sim hatch is foreign, REPRO_* must be
     # registered, and host-env reads are flagged in deterministic packages

@@ -172,6 +172,68 @@ class TestSendRecv:
         assert res.returns == [1, 0]
 
 
+class TestSendSendDetector:
+    """The early send/send-cycle diagnostic in the rendezvous path."""
+
+    def test_mutual_large_sends_diagnosed_with_detail(self):
+        big = np.zeros(64 * KiB, dtype=np.uint8)
+
+        def main(comm):
+            other = 1 - comm.rank
+            comm.send(big, dest=other)
+            return comm.recv(source=other)
+
+        with pytest.raises(DeadlockError) as ei:
+            run(main)
+        msg = str(ei.value)
+        assert "send/send cycle" in msg
+        assert "rank 0" in msg and "rank 1" in msg
+        assert "test_mpi_p2p.py" in msg          # blames the send call site
+        assert "sendrecv" in msg                 # suggests the fix
+
+    def test_sendrecv_pair_never_trips_the_detector(self):
+        """Regression pin: sendrecv's receiver-driven accounting must stay
+        invisible to the send/send detector — its transfers post no
+        clear-to-send futures for the detector to match on."""
+        big = np.zeros(64 * KiB, dtype=np.uint8)
+
+        def main(comm):
+            other = 1 - comm.rank
+            got = comm.sendrecv(big + comm.rank, dest=other, source=other)
+            return int(got[0])
+
+        res = run(main)
+        assert res.returns == [1, 0]
+
+    def test_sendrecv_ring_with_large_payloads(self):
+        big = np.zeros(64 * KiB, dtype=np.uint8)
+
+        def main(comm):
+            right = (comm.rank + 1) % comm.size
+            left = (comm.rank - 1) % comm.size
+            got = comm.sendrecv(big + comm.rank, dest=right, source=left)
+            return int(got[0])
+
+        res = run(main, nprocs=4, nodes=2, procs_per_node=2)
+        assert res.returns == [3, 0, 1, 2]
+
+    def test_paired_large_send_recv_not_flagged(self):
+        """One side sends, the other receives: the detector must stay
+        quiet for a correctly ordered rendezvous."""
+        big = np.zeros(64 * KiB, dtype=np.uint8)
+
+        def main(comm):
+            if comm.rank == 0:
+                comm.send(big, dest=1)
+                return comm.recv(source=1)
+            got = comm.recv(source=0)
+            comm.send(big, dest=0)
+            return got
+
+        res = run(main)
+        assert res.returns[0].nbytes == 64 * KiB
+
+
 class TestNonBlocking:
     def test_isend_irecv_roundtrip(self):
         def main(comm):

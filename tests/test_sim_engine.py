@@ -369,6 +369,111 @@ class TestBarrier:
         assert leave == [pytest.approx(0.25)] * 2
 
 
+class TestDeadlockDiagnosis:
+    """The no-runnable-process branch: reasons, sites, wait-for cycles.
+
+    Parametrized over both scheduler loops — the fast path and the
+    ``REPRO_SIM_SLOWPATH=1`` reference loop share the diagnosis code but
+    reach it from different control flow.
+    """
+
+    @pytest.fixture(params=["fast", "slowpath"], autouse=True)
+    def scheduler(self, request, monkeypatch):
+        monkeypatch.delenv("REPRO_SIM_SLOWPATH", raising=False)
+        if request.param == "slowpath":
+            monkeypatch.setenv("REPRO_SIM_SLOWPATH", "1")
+
+    def test_clean_termination_is_not_a_deadlock(self):
+        eng = Engine()
+
+        def work():
+            current_process().compute(1.0)
+
+        eng.spawn(work, name="w")
+        assert eng.run() == pytest.approx(1.0)
+
+    def test_block_reason_carries_primitive_time_and_site(self):
+        eng = Engine()
+        box = Mailbox("never")
+
+        def stuck():
+            p = current_process()
+            p.compute(2.5)
+            box.recv(p, reason="mailbox:never")
+
+        eng.spawn(stuck, name="lonely")
+        with pytest.raises(DeadlockError) as ei:
+            eng.run()
+        msg = str(ei.value)
+        assert "lonely (pid 0" in msg
+        assert "waiting on mailbox:never" in msg
+        assert "since t=2.5" in msg
+        assert "test_sim_engine.py" in msg  # blames the recv call site
+
+    def test_wait_for_cycle_names_ranks_and_primitives(self):
+        eng = Engine()
+        box_a, box_b = Mailbox("a"), Mailbox("b")
+        procs = {}
+
+        def left():
+            box_a.recv(current_process(), reason="recv:a",
+                       waker=procs["right"])
+
+        def right():
+            box_b.recv(current_process(), reason="recv:b",
+                       waker=procs["left"])
+
+        procs["left"] = eng.spawn(left, name="left")
+        procs["right"] = eng.spawn(right, name="right")
+        with pytest.raises(DeadlockError) as ei:
+            eng.run()
+        msg = str(ei.value)
+        assert "wait-for cycle: left [recv:a] -> right [recv:b] -> left" \
+            in msg
+
+    def test_without_waker_metadata_no_cycle_is_claimed(self):
+        eng = Engine()
+        box = Mailbox("never")
+
+        def stuck():
+            box.recv(current_process(), reason="waiting")
+
+        eng.spawn(stuck, name="v")
+        eng.spawn(stuck, name="e")
+        with pytest.raises(DeadlockError) as ei:
+            eng.run()
+        assert "wait-for cycle" not in str(ei.value)
+
+    def test_broken_waker_callback_does_not_mask_the_deadlock(self):
+        eng = Engine()
+
+        def stuck():
+            current_process().block(reason="custom-wait",
+                                    wakers=lambda e, w: 1 / 0)
+
+        eng.spawn(stuck, name="s")
+        with pytest.raises(DeadlockError) as ei:
+            eng.run()
+        msg = str(ei.value)
+        assert "custom-wait" in msg
+        assert "wait-for cycle" not in msg
+
+    def test_deadlock_error_from_process_surfaces_unwrapped(self):
+        # a protocol-level detector (the MPI send/send diagnostic) raises
+        # DeadlockError inside the process; the engine must not wrap it in
+        # SimProcessError, which would bury the diagnosis one level down
+        eng = Engine()
+        boom = DeadlockError("protocol detector diagnosis")
+
+        def raiser():
+            raise boom
+
+        eng.spawn(raiser, name="r")
+        with pytest.raises(DeadlockError) as ei:
+            eng.run()
+        assert ei.value is boom
+
+
 class TestFuture:
     def test_wait_before_set(self):
         eng = Engine()
