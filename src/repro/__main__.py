@@ -187,7 +187,11 @@ def _cmd_list(args: argparse.Namespace) -> int:
 
     registry = _ensure_registry()
     if args.json:
-        from repro.core.experiment import supports_faults, supports_machine
+        from repro.core.experiment import (
+            supports_faults,
+            supports_machine,
+            supports_sched,
+        )
 
         def analysis_block(exp_id: str) -> dict:
             # the analysis layer is optional decoration on the listing: an
@@ -227,9 +231,27 @@ def _cmd_list(args: argparse.Namespace) -> int:
                 for m in MACHINES.values()
             ]
 
+        def sched_block() -> dict:
+            from repro.sched import DEFAULT_TENANTS, JOB_KINDS, POLICIES
+
+            return {
+                "policies": list(POLICIES),
+                "job_kinds": [
+                    {"name": k.name, "framework": k.framework,
+                     "description": k.description}
+                    for k in JOB_KINDS.values()
+                ],
+                "tenants": [
+                    {"name": t.name, "weight": t.weight,
+                     "priority": t.priority}
+                    for t in DEFAULT_TENANTS
+                ],
+            }
+
         print(json.dumps({
             "cache": cache_block(),
             "machines": machines_block(),
+            "sched": sched_block(),
             "experiments": [
                 {
                     "id": exp.exp_id,
@@ -240,6 +262,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
                     "quick_params": sorted(exp.quick_params),
                     "faults": supports_faults(exp),
                     "machine": supports_machine(exp),
+                    "sched": supports_sched(exp),
                     "analysis": analysis_block(exp.exp_id),
                 }
                 for exp in registry.values()

@@ -107,7 +107,7 @@ _NAME_TO_CODE = {name: code for code, (name, _) in RULES.items()}
 #: engine and must be bit-deterministic.
 DETERMINISTIC_PACKAGES = frozenset({
     "sim", "cluster", "fs", "mpi", "openmp", "shmem",
-    "spark", "mapreduce", "apps", "workloads",
+    "spark", "mapreduce", "apps", "workloads", "sched",
 })
 
 #: every supported environment escape hatch and the ONE module allowed to

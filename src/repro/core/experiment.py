@@ -51,7 +51,7 @@ class Experiment:
 
 
 def _registry() -> dict[str, Experiment]:
-    from repro.core import ablations, extras, figures, sweeps, validate
+    from repro.core import ablations, extras, figures, schedexp, sweeps, validate
     from repro.units import GiB, KiB
     from repro.workloads.graphs import GraphSpec
     from repro.workloads.stackexchange import StackExchangeSpec
@@ -106,6 +106,12 @@ def _registry() -> dict[str, Experiment]:
             {"size": 64 * KiB, "nodes": 2, "procs_per_node": 4,
              "iterations": 3},
             shard_param="machines"),
+        "sched-trace": Experiment(
+            "sched-trace",
+            "Batch scheduler over synthetic multi-tenant job traffic",
+            schedexp.sched_trace,
+            {"seeds": (11, 12), "n_jobs": 60},
+            shard_param="seeds"),
         "table3": Experiment(
             "table3", "Maintainability: LoC + boilerplate", figures.table3, {}),
         "ablation-persist": Experiment(
@@ -178,6 +184,16 @@ def supports_machine(exp: Experiment) -> bool:
     ``machines`` tuple instead) are machine-independent.
     """
     return _takes_keyword(exp, "machine")
+
+
+def supports_sched(exp: Experiment) -> bool:
+    """Whether an experiment drives the batch scheduler (``repro.sched``).
+
+    Scheduler experiments take a ``pool_nodes`` keyword (the allocatable
+    node pool their traces target); ``list --json`` marks them so tooling
+    can find the runs that emit ``job.*`` lifecycle traces.
+    """
+    return _takes_keyword(exp, "pool_nodes")
 
 
 def _takes_keyword(exp: Experiment, name: str) -> bool:

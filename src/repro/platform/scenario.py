@@ -102,6 +102,39 @@ class ScenarioSpec:
     specs are bit-identical platforms — same node count, same staged
     bytes, same process-id sequence — which is what makes cross-framework
     comparisons (and golden fingerprints) meaningful.
+
+    Fields
+    ------
+    nodes, procs_per_node:
+        Cluster size and process density (executors, ranks, PEs or
+        slots per node); ``nprocs`` is their product.
+    machine:
+        The hardware + cost model to provision — a registry name
+        (``"comet"``, ``"commodity-eth"``, …) or a full
+        :class:`~repro.cluster.MachineSpec`.  Defaults to the simulated
+        SDSC Comet; see :mod:`repro.cluster.machines` and
+        ``docs/hardware.md``.
+    base:
+        Optional :class:`~repro.cluster.ClusterSpec` override replacing
+        the machine's cluster shape while keeping its costs and fabric
+        routing (rarely needed — prefer a machine variant).
+    hdfs, datasets:
+        HDFS mount parameters, and input files staged before the run in
+        declaration order.
+    trace:
+        Enable structured event tracing (the profiler and the
+        communication sanitizer read it back).
+    hb:
+        Enable happens-before instrumentation on top of tracing: vector
+        clocks are threaded through the engine and shared-state accesses
+        recorded for the race checker (:mod:`repro.analysis.races`).
+        Implies ``trace``; observational only — virtual-time outputs are
+        bit-identical with the flag on or off.
+    faults:
+        :class:`~repro.faults.FaultPlan` tuple injected at exact virtual
+        times by a session daemon (``docs/faults.md``).  The empty
+        default arms nothing — a fault-free session is bit-identical to
+        one built before the fault subsystem existed.
     """
 
     #: cluster size in nodes (the paper sweeps 1..16)

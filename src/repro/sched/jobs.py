@@ -1,0 +1,115 @@
+"""Job model for the multi-tenant batch scheduler.
+
+A :class:`Job` is one queued unit of work the way a SLURM-class resource
+manager sees it: a tenant (account), a priority, a node request, a submit
+time and a *kind* naming the application it runs (:mod:`repro.sched.kinds`
+maps kinds onto the repository's ``run_in(session)`` app adapters).  Jobs
+are immutable values — the synthetic trace generator
+(:mod:`repro.sched.traffic`) emits tuples of them, and the scheduler
+(:mod:`repro.sched.scheduler`) turns each into a :class:`JobRecord` with
+its placement decided.
+
+``nodes`` vs ``nodes_used`` models the *resource waste* the FRESCO work
+measures over production job records: users routinely request more nodes
+than their application exercises, and the difference — allocated but
+unused node-seconds — is capacity the machine burns without producing
+results.  The scheduler allocates ``nodes`` (the request is what queues
+and occupies the machine); the application's runtime is measured on
+``nodes_used``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Job:
+    """One submitted batch job (immutable).
+
+    Attributes
+    ----------
+    job_id:
+        Unique integer id; also the final FCFS tie-breaker, so a job
+        trace's ordering is total and deterministic.
+    tenant:
+        Accounting group the job bills to — the unit of fair-share.
+    kind:
+        Application kind name (see :data:`repro.sched.kinds.JOB_KINDS`);
+        decides which framework adapter measures the job's runtime.
+    nodes:
+        Node count the job *requests* — what the scheduler allocates and
+        what occupies the machine while the job runs.
+    nodes_used:
+        Node count the application actually exercises
+        (``<= nodes``); the gap is modelled resource waste.
+    procs_per_node:
+        Process density of the application run.
+    submit:
+        Virtual submission time in seconds.
+    priority:
+        Queue priority; higher runs first (before fair-share and FCFS
+        order are consulted).
+    scale:
+        Kind-specific problem-size multiplier (message bytes, dataset
+        rows, ... — each kind documents its meaning).
+    """
+
+    job_id: int
+    tenant: str
+    kind: str
+    nodes: int
+    nodes_used: int
+    procs_per_node: int
+    submit: float
+    priority: int = 0
+    scale: int = 1
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ConfigurationError(f"job {self.job_id}: nodes must be >= 1")
+        if not 1 <= self.nodes_used <= self.nodes:
+            raise ConfigurationError(
+                f"job {self.job_id}: nodes_used must be in 1..nodes "
+                f"({self.nodes_used} vs {self.nodes})")
+        if self.procs_per_node < 1:
+            raise ConfigurationError(
+                f"job {self.job_id}: procs_per_node must be >= 1")
+        if self.submit < 0:
+            raise ConfigurationError(f"job {self.job_id}: submit must be >= 0")
+        if self.scale < 1:
+            raise ConfigurationError(f"job {self.job_id}: scale must be >= 1")
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """One job's scheduling outcome: the job plus its decided timeline.
+
+    ``start - job.submit`` is the queue wait; ``end - start`` equals the
+    measured ``runtime``.  ``backfilled`` marks jobs the conservative
+    backfill pass started ahead of an earlier-queued job (without
+    delaying any reservation — the invariant the tests pin).
+    """
+
+    job: Job
+    runtime: float
+    start: float
+    end: float
+    backfilled: bool = False
+
+    @property
+    def wait(self) -> float:
+        """Seconds spent queued (start minus submit)."""
+        return self.start - self.job.submit
+
+    def bounded_slowdown(self, threshold: float = 10.0) -> float:
+        """Bounded slowdown: ``max(1, (wait + runtime) / max(runtime, threshold))``.
+
+        The standard queueing metric (Feitelson's BSLD): response time
+        over runtime, with runtimes below ``threshold`` clamped so
+        sub-second jobs cannot dominate the average.
+        """
+        denom = max(self.runtime, threshold)
+        return max(1.0, (self.wait + self.runtime) / denom)

@@ -1,0 +1,283 @@
+"""Deterministic virtual-time batch scheduler (FCFS + conservative backfill).
+
+This is the SLURM-shaped layer between a job trace and the simulated
+machine: jobs arrive at virtual times, wait in a priority/fair-share
+ordered queue, are allocated whole nodes against a fixed pool, run for
+their measured runtime, and release.  The whole schedule is computed in
+one discrete-event pass over virtual time — no wall clock, no ambient
+RNG — so the same trace always yields the identical schedule, which is
+what lets the ``sched-trace`` experiment carry a golden fingerprint.
+
+Queue ordering
+--------------
+At every scheduling pass the pending queue is sorted by
+
+1. ``priority`` (higher first),
+2. fair-share: the tenant's allocated node-seconds so far (less first),
+   so a tenant that has consumed little capacity moves ahead of one that
+   has consumed much — multi-tenant fairness without manual queues,
+3. submit time, then ``job_id`` — FCFS as the final tie-break.
+
+Backfill
+--------
+With ``backfill=True`` (the default) the scheduler runs *conservative
+backfill*: every queued job receives a reservation at the earliest time
+the availability profile can hold it, in queue order, and a job starts
+now exactly when its reservation begins now.  A later job can therefore
+jump ahead only into holes that delay **no** earlier-queued job's
+reservation — the invariant ``tests/test_sched.py`` pins with a
+hand-built trace.  With ``backfill=False`` the pass is plain FCFS: the
+queue head blocks everything behind it, idling nodes the backfill
+variant would use.
+
+Trace events
+------------
+When given a :class:`~repro.sim.trace.Trace`, the scheduler records one
+``job.submit`` / ``job.start`` / ``job.end`` event per job (process name
+``job<N>``) plus a ``sched.backfill`` marker per backfilled start.  The
+events satisfy the trace schema (per-process monotone virtual times), so
+the hb/sanitize tooling and :func:`repro.sim.trace.validate_events`
+consume them like any engine-emitted stream.
+"""
+
+from __future__ import annotations
+
+import bisect
+import heapq
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.errors import ConfigurationError
+from repro.sched.jobs import Job, JobRecord
+from repro.sim.trace import Trace
+
+__all__ = ["POLICIES", "BatchScheduler", "SchedOutcome", "schedule"]
+
+#: scheduling policies the batch layer implements
+POLICIES: tuple[str, ...] = ("fcfs", "backfill")
+
+
+class _Profile:
+    """Piecewise-constant free-node timeline used for reservations.
+
+    Segment ``i`` spans ``[times[i], times[i+1])`` (the last segment is
+    open-ended) with ``frees[i]`` nodes available.  Built fresh at each
+    scheduling pass from the running set, then carved up by the pass's
+    own reservations.
+    """
+
+    def __init__(self, now: float, free: int,
+                 releases: Iterable[tuple[float, int]]) -> None:
+        deltas: dict[float, int] = {}
+        for t, nodes in releases:
+            deltas[t] = deltas.get(t, 0) + nodes
+        self.times = [now] + sorted(t for t in deltas if t > now)
+        self.frees = [free]
+        for t in self.times[1:]:
+            self.frees.append(self.frees[-1] + deltas[t])
+
+    def _split(self, t: float) -> None:
+        """Ensure ``t`` is a segment boundary (no-op if already)."""
+        i = bisect.bisect_right(self.times, t) - 1
+        if self.times[i] != t:
+            self.times.insert(i + 1, t)
+            self.frees.insert(i + 1, self.frees[i])
+
+    def earliest(self, nodes: int, duration: float) -> float:
+        """Earliest start time with ``nodes`` free throughout ``duration``.
+
+        The final segment always holds the whole pool (every running job
+        and reservation ends by then), so a job whose request fits the
+        pool always finds a start.
+        """
+        n = len(self.times)
+        i = 0
+        while i < n:
+            if self.frees[i] < nodes:
+                i += 1
+                continue
+            start = self.times[i]
+            j = i
+            while j < n and self.times[j] < start + duration:
+                if self.frees[j] < nodes:
+                    break
+                j += 1
+            else:
+                return start
+            i = j + 1
+        return self.times[-1]  # pragma: no cover - guarded by pool check
+
+    def reserve(self, start: float, duration: float, nodes: int) -> None:
+        """Subtract ``nodes`` from every segment in ``[start, start+duration)``."""
+        if duration <= 0:
+            return
+        self._split(start)
+        self._split(start + duration)
+        for i, t in enumerate(self.times):
+            if start <= t < start + duration:
+                self.frees[i] -= nodes
+
+
+@dataclass
+class SchedOutcome:
+    """A computed schedule: per-job records plus pool-level facts.
+
+    ``records`` is ordered by ``job_id`` (deterministic regardless of
+    completion order); ``makespan`` is the last job's end time;
+    ``trace`` is the lifecycle event stream when the scheduler was built
+    with one, else ``None``.
+    """
+
+    pool_nodes: int
+    policy: str
+    records: list[JobRecord] = field(default_factory=list)
+    makespan: float = 0.0
+    trace: Trace | None = None
+
+
+class BatchScheduler:
+    """Multi-tenant batch scheduler over a fixed node pool.
+
+    Parameters
+    ----------
+    pool_nodes:
+        Size of the allocatable node pool — typically the node count of
+        the :class:`~repro.cluster.machines.MachineSpec` slice the trace
+        targets.
+    backfill:
+        ``True`` (default) enables conservative backfill; ``False``
+        degrades to plain FCFS (the queue head blocks the queue).
+    trace:
+        Optional :class:`~repro.sim.trace.Trace` receiving ``job.*`` and
+        ``sched.*`` lifecycle events.
+    """
+
+    def __init__(self, pool_nodes: int, *, backfill: bool = True,
+                 trace: Trace | None = None) -> None:
+        if pool_nodes < 1:
+            raise ConfigurationError("pool_nodes must be >= 1")
+        self.pool_nodes = pool_nodes
+        self.backfill = backfill
+        self.trace = trace
+
+    @property
+    def policy(self) -> str:
+        """Name of the active policy (``"backfill"`` or ``"fcfs"``)."""
+        return "backfill" if self.backfill else "fcfs"
+
+    def schedule(self, jobs: Iterable[Job],
+                 runtimes: Mapping[int, float]) -> SchedOutcome:
+        """Compute the full schedule for ``jobs``.
+
+        ``runtimes`` maps ``job_id`` to the job's runtime in virtual
+        seconds (measured by :func:`repro.sched.kinds.measure_runtimes`,
+        or hand-built in tests).  Returns a :class:`SchedOutcome`; raises
+        :class:`~repro.errors.ConfigurationError` if any job requests
+        more nodes than the pool holds or lacks a runtime entry.
+        """
+        jobs = sorted(jobs, key=lambda j: (j.submit, j.job_id))
+        for job in jobs:
+            if job.nodes > self.pool_nodes:
+                raise ConfigurationError(
+                    f"job {job.job_id} requests {job.nodes} nodes; "
+                    f"pool has {self.pool_nodes}")
+            if job.job_id not in runtimes:
+                raise ConfigurationError(
+                    f"job {job.job_id} has no runtime entry")
+
+        # event heap: (time, rank, seq) — completions (rank 0) release
+        # nodes before arrivals (rank 1) at the same instant are queued,
+        # and the single scheduling pass per instant sees both
+        events: list[tuple[float, int, int, Job | JobRecord]] = []
+        seq = 0
+        for job in jobs:
+            heapq.heappush(events, (job.submit, 1, seq, job))
+            seq += 1
+
+        free = self.pool_nodes
+        pending: list[Job] = []
+        running: list[JobRecord] = []
+        usage: dict[str, float] = {}
+        out = SchedOutcome(self.pool_nodes, self.policy, trace=self.trace)
+        records: dict[int, JobRecord] = {}
+
+        def order_key(job: Job):
+            return (-job.priority, usage.get(job.tenant, 0.0),
+                    job.submit, job.job_id)
+
+        def start_job(job: Job, now: float, *, backfilled: bool) -> None:
+            nonlocal free, seq
+            runtime = runtimes[job.job_id]
+            rec = JobRecord(job, runtime, now, now + runtime,
+                            backfilled=backfilled)
+            records[job.job_id] = rec
+            running.append(rec)
+            free -= job.nodes
+            usage[job.tenant] = usage.get(job.tenant, 0.0) \
+                + job.nodes * runtime
+            pending.remove(job)
+            heapq.heappush(events, (rec.end, 0, seq, rec))
+            seq += 1
+            if self.trace is not None:
+                if backfilled:
+                    self.trace.record(now, "-", "sched.backfill",
+                                      job=job.job_id, nodes=job.nodes)
+                self.trace.record(now, f"job{job.job_id}", "job.start",
+                                  tenant=job.tenant, job_kind=job.kind,
+                                  nodes=job.nodes, wait=now - job.submit)
+
+        def sched_pass(now: float) -> None:
+            queue = sorted(pending, key=order_key)
+            if not self.backfill:
+                for job in queue:
+                    if job.nodes > free:
+                        break  # FCFS: the head blocks the queue
+                    start_job(job, now, backfilled=False)
+                return
+            profile = _Profile(now, free,
+                               [(r.end, r.job.nodes) for r in running])
+            blocked = False
+            for job in queue:
+                runtime = runtimes[job.job_id]
+                start = profile.earliest(job.nodes, runtime)
+                profile.reserve(start, runtime, job.nodes)
+                if start == now:
+                    start_job(job, now, backfilled=blocked)
+                else:
+                    blocked = True
+
+        while events:
+            now = events[0][0]
+            while events and events[0][0] == now:
+                _t, rank, _s, payload = heapq.heappop(events)
+                if rank == 0:
+                    rec = payload
+                    running.remove(rec)
+                    free += rec.job.nodes
+                    if self.trace is not None:
+                        self.trace.record(
+                            rec.end, f"job{rec.job.job_id}", "job.end",
+                            tenant=rec.job.tenant, job_kind=rec.job.kind,
+                            nodes=rec.job.nodes, runtime=rec.runtime)
+                else:
+                    job = payload
+                    pending.append(job)
+                    if self.trace is not None:
+                        self.trace.record(
+                            job.submit, f"job{job.job_id}", "job.submit",
+                            tenant=job.tenant, job_kind=job.kind,
+                            nodes=job.nodes, priority=job.priority)
+            sched_pass(now)
+
+        out.records = [records[j.job_id] for j in
+                       sorted(jobs, key=lambda j: j.job_id)]
+        out.makespan = max((r.end for r in out.records), default=0.0)
+        return out
+
+
+def schedule(jobs: Iterable[Job], runtimes: Mapping[int, float], *,
+             pool_nodes: int, backfill: bool = True,
+             trace: Trace | None = None) -> SchedOutcome:
+    """Functional form of :meth:`BatchScheduler.schedule`."""
+    return BatchScheduler(pool_nodes, backfill=backfill,
+                          trace=trace).schedule(jobs, runtimes)

@@ -1,0 +1,251 @@
+"""The batch scheduler: backfill invariants, determinism, the experiment.
+
+Covers the contracts :mod:`repro.sched` introduces:
+
+* conservative backfill fills idle nodes that plain FCFS leaves empty,
+  **without** delaying the reserved queue-head job (the hand-built trace
+  below makes this exact);
+* fair-share ordering across tenants and priority override;
+* the seeded traffic generator is a pure function of its profile;
+* lifecycle trace events satisfy the trace schema;
+* the ``sched-trace`` experiment produces bit-identical metrics across
+  worker counts and repeated runs, and a different fingerprint per
+  machine model;
+* validation errors for malformed jobs, profiles and schedules.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.experiment import get_experiment, supports_sched
+from repro.core.schedexp import sched_trace_metrics
+from repro.errors import ConfigurationError
+from repro.platform import run_suite
+from repro.sched import (
+    DEFAULT_TENANTS,
+    JOB_KINDS,
+    BatchScheduler,
+    Job,
+    TraceProfile,
+    generate_jobs,
+    measure_runtimes,
+    outcome_metrics,
+    schedule,
+)
+from repro.sim.trace import Trace, validate_events
+
+
+def _job(job_id, *, nodes, submit, runtime_ignored=None, tenant="t",
+         priority=0, nodes_used=None, kind="mpi-reduce"):
+    return Job(job_id=job_id, tenant=tenant, kind=kind, nodes=nodes,
+               nodes_used=nodes_used if nodes_used is not None else nodes,
+               procs_per_node=1, submit=submit, priority=priority)
+
+
+class TestBackfill:
+    """The hand-built trace pinning the conservative-backfill invariant.
+
+    Pool of 4 nodes.  ``wide`` (3 nodes, runtime 100) runs first, leaving
+    one node idle; ``head`` (4 nodes) arrives and must wait for the whole
+    pool (reserved at t=100); ``small`` (1 node, runtime 50) arrives last.
+    FCFS idles the fourth node for ~100 s because ``head`` blocks the
+    queue; backfill starts ``small`` on it immediately, since its whole
+    runtime fits before ``head``'s reservation begins.
+    """
+
+    JOBS = (
+        _job(0, nodes=3, submit=0.0),    # wide: 3 of 4 nodes to t=100
+        _job(1, nodes=4, submit=1.0),    # head: reserved at t=100
+        _job(2, nodes=1, submit=2.0),    # small: fits the hole (ends t=52)
+    )
+    RUNTIMES = {0: 100.0, 1: 30.0, 2: 50.0}
+
+    def test_backfill_fills_hole_without_delaying_head(self):
+        out = schedule(self.JOBS, self.RUNTIMES, pool_nodes=4)
+        start = {r.job.job_id: r.start for r in out.records}
+        backfilled = {r.job.job_id: r.backfilled for r in out.records}
+        assert start[0] == 0.0
+        # the head job starts exactly at its reservation (wide's release)
+        assert start[1] == 100.0
+        # small starts immediately in the hole, flagged as backfilled
+        assert start[2] == 2.0
+        assert backfilled == {0: False, 1: False, 2: True}
+        assert out.makespan == 130.0
+
+    def test_fcfs_idles_the_hole(self):
+        out = schedule(self.JOBS, self.RUNTIMES, pool_nodes=4,
+                       backfill=False)
+        start = {r.job.job_id: r.start for r in out.records}
+        assert start[1] == 100.0
+        # FCFS: small waits behind head even though a node sits idle
+        assert start[2] == 130.0
+        assert not any(r.backfilled for r in out.records)
+        assert out.policy == "fcfs"
+
+    def test_backfill_never_delays_any_reservation(self):
+        # a would-be backfill that overlaps the head's reservation must
+        # NOT start: 2 nodes free now, but small's runtime crosses t=100
+        # when head needs the full pool
+        jobs = (
+            _job(0, nodes=2, submit=0.0),   # half the pool to t=100
+            _job(1, nodes=4, submit=1.0),   # head: needs all 4 at t=100
+            _job(2, nodes=1, submit=2.0),   # runtime 200 > hole size
+        )
+        out = schedule(jobs, {0: 100.0, 1: 10.0, 2: 200.0}, pool_nodes=4)
+        start = {r.job.job_id: r.start for r in out.records}
+        assert start[1] == 100.0            # head undelayed
+        assert start[2] == 110.0            # small waits for head to end
+
+    def test_trace_events_validate(self):
+        trace = Trace()
+        schedule(self.JOBS, self.RUNTIMES, pool_nodes=4, trace=trace)
+        validate_events(trace.events)
+        kinds = [e.kind for e in trace.events]
+        assert kinds.count("job.submit") == 3
+        assert kinds.count("job.start") == 3
+        assert kinds.count("job.end") == 3
+        assert kinds.count("sched.backfill") == 1
+        sub, = (e for e in trace.events
+                if e.kind == "job.start" and e.proc == "job2")
+        assert sub.detail["wait"] == 0.0 and sub.detail["job_kind"] \
+            == "mpi-reduce"
+
+
+class TestOrdering:
+    def test_priority_beats_fair_share_and_fcfs(self):
+        jobs = (
+            _job(0, nodes=4, submit=0.0),
+            _job(1, nodes=4, submit=1.0, tenant="a"),
+            _job(2, nodes=4, submit=2.0, tenant="b", priority=5),
+        )
+        out = schedule(jobs, {0: 10.0, 1: 10.0, 2: 10.0}, pool_nodes=4)
+        start = {r.job.job_id: r.start for r in out.records}
+        assert start[2] == 10.0 and start[1] == 20.0
+
+    def test_fair_share_prefers_light_tenant(self):
+        # heavy's first job consumes node-seconds, so when two jobs
+        # contend at t=10, light's later-submitted job goes first
+        jobs = (
+            _job(0, nodes=4, submit=0.0, tenant="heavy"),
+            _job(1, nodes=4, submit=1.0, tenant="heavy"),
+            _job(2, nodes=4, submit=2.0, tenant="light"),
+        )
+        out = schedule(jobs, {0: 10.0, 1: 10.0, 2: 10.0}, pool_nodes=4)
+        start = {r.job.job_id: r.start for r in out.records}
+        assert start[2] == 10.0 and start[1] == 20.0
+
+
+class TestValidation:
+    def test_job_rejects_bad_shapes(self):
+        with pytest.raises(ConfigurationError):
+            _job(0, nodes=0, submit=0.0)
+        with pytest.raises(ConfigurationError):
+            _job(0, nodes=2, nodes_used=3, submit=0.0)
+        with pytest.raises(ConfigurationError):
+            _job(0, nodes=1, submit=-1.0)
+
+    def test_schedule_rejects_oversized_and_unmeasured_jobs(self):
+        with pytest.raises(ConfigurationError, match="requests 8 nodes"):
+            schedule((_job(0, nodes=8, submit=0.0),), {0: 1.0},
+                     pool_nodes=4)
+        with pytest.raises(ConfigurationError, match="no runtime"):
+            schedule((_job(0, nodes=2, submit=0.0),), {}, pool_nodes=4)
+        with pytest.raises(ConfigurationError):
+            BatchScheduler(0)
+
+    def test_profile_rejects_bad_knobs(self):
+        with pytest.raises(ConfigurationError):
+            TraceProfile(n_jobs=0)
+        with pytest.raises(ConfigurationError):
+            TraceProfile(max_nodes=64, pool_nodes=8)
+        with pytest.raises(ConfigurationError):
+            TraceProfile(burstiness=1.0)
+        with pytest.raises(ConfigurationError):
+            TraceProfile(tenants=())
+
+    def test_unknown_kind_raises(self):
+        bad = (_job(0, nodes=1, submit=0.0, kind="nope"),)
+        with pytest.raises(ConfigurationError, match="unknown kind"):
+            measure_runtimes(bad)
+
+
+class TestTraffic:
+    def test_generator_is_pure(self):
+        a = generate_jobs(TraceProfile(n_jobs=50, seed=3))
+        b = generate_jobs(TraceProfile(n_jobs=50, seed=3))
+        assert a == b
+        assert a != generate_jobs(TraceProfile(n_jobs=50, seed=4))
+
+    def test_generated_shape(self):
+        profile = TraceProfile(n_jobs=80, seed=5)
+        jobs = generate_jobs(profile)
+        assert [j.job_id for j in jobs] == list(range(80))
+        assert all(jobs[i].submit <= jobs[i + 1].submit
+                   for i in range(len(jobs) - 1))
+        assert all(j.nodes <= profile.pool_nodes for j in jobs)
+        assert all(j.kind in JOB_KINDS for j in jobs)
+        tenants = {t.name for t in DEFAULT_TENANTS}
+        assert {j.tenant for j in jobs} <= tenants
+        # over-requesting happens: the waste metric has something to see
+        assert any(j.nodes > j.nodes_used for j in jobs)
+
+    def test_default_profile_contends(self):
+        # the shipped defaults must exercise the queue, not an idle pool
+        met = sched_trace_metrics(11, n_jobs=60)
+        assert met["mean_wait_s"] > 0
+        assert met["backfilled"] > 0
+        assert 0.2 < met["utilization"] < 1.0
+        assert met["fcfs_mean_wait_s"] > met["mean_wait_s"]
+
+
+class TestMetrics:
+    def test_metrics_values_on_hand_trace(self):
+        out = schedule(TestBackfill.JOBS, TestBackfill.RUNTIMES,
+                       pool_nodes=4)
+        met = outcome_metrics(out)
+        assert met["jobs"] == 3
+        assert met["makespan_s"] == 130.0
+        # waits: 0 (wide), 99 (head), 0 (small backfilled)
+        assert met["mean_wait_s"] == pytest.approx(33.0)
+        assert met["max_wait_s"] == 99.0
+        assert met["backfilled"] == 1
+        assert met["waste_frac"] == 0.0
+        alloc = 3 * 100.0 + 4 * 30.0 + 1 * 50.0
+        assert met["utilization"] == pytest.approx(alloc / (4 * 130.0))
+
+    def test_waste_counts_overrequest(self):
+        jobs = (_job(0, nodes=4, nodes_used=2, submit=0.0),)
+        met = outcome_metrics(schedule(jobs, {0: 10.0}, pool_nodes=4))
+        assert met["waste_frac"] == pytest.approx(0.5)
+
+    def test_empty_outcome(self):
+        met = outcome_metrics(schedule((), {}, pool_nodes=4))
+        assert met["jobs"] == 0 and met["utilization"] == 0.0
+
+
+class TestExperiment:
+    QUICK = {"sched-trace": {"seeds": (11, 12), "n_jobs": 40}}
+
+    def test_metrics_identical_across_workers_and_reruns(self):
+        serial = run_suite(["sched-trace"], workers=1, overrides=self.QUICK)
+        sharded = run_suite(["sched-trace"], workers=4, overrides=self.QUICK)
+        again = run_suite(["sched-trace"], workers=1, overrides=self.QUICK)
+        assert serial.fingerprints() == sharded.fingerprints()
+        assert serial.fingerprints() == again.fingerprints()
+        assert serial.results["sched-trace"].rows \
+            == sharded.results["sched-trace"].rows
+        # the full metrics dict (not just the rendered rows) is pinned
+        assert sched_trace_metrics(11, n_jobs=40) \
+            == sched_trace_metrics(11, n_jobs=40)
+
+    def test_machine_changes_fingerprint(self):
+        comet = sched_trace_metrics(11, n_jobs=30)
+        eth = sched_trace_metrics(11, n_jobs=30, machine="commodity-eth")
+        assert comet != eth
+
+    def test_registered_and_flagged(self):
+        exp = get_experiment("sched-trace")
+        assert exp.shard_param == "seeds"
+        assert supports_sched(exp)
+        assert not supports_sched(get_experiment("fig3"))
